@@ -1,0 +1,101 @@
+//! Byzantine broadcast / agreement primitives in isolation: Dolev–Strong, committee
+//! broadcast and phase-king driven over the synchronous simulator.
+
+use bsm_broadcast::{
+    Committee, CommitteeBroadcast, CommitteeBroadcastConfig, DolevStrong, DolevStrongConfig,
+    PhaseKing,
+};
+use bsm_crypto::{KeyId, Pki};
+use bsm_net::{CorruptionBudget, PartyId, PartySet, RoundDriver, SyncNetwork, Topology};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn run_dolev_strong(k: usize, t: usize) -> u64 {
+    let parties = PartySet::new(k);
+    let pki = Pki::new(2 * k as u32);
+    let key_of: BTreeMap<PartyId, KeyId> =
+        parties.iter().map(|p| (p, KeyId(p.dense(k) as u32))).collect();
+    let sender = PartyId::left(0);
+    let mut net: SyncNetwork<bsm_broadcast::DolevStrongMsg<u64>, u64> =
+        SyncNetwork::new(k, Topology::FullyConnected, CorruptionBudget::NONE);
+    for party in parties.iter() {
+        let config = DolevStrongConfig {
+            me: party,
+            sender,
+            participants: parties.iter().collect(),
+            t,
+            instance: 1,
+            pki: pki.clone(),
+            key_of: key_of.clone(),
+        };
+        let key = pki.signing_key(key_of[&party].0).unwrap();
+        let protocol =
+            DolevStrong::new(config, key, if party == sender { Some(99) } else { None }, 0);
+        net.register(Box::new(RoundDriver::new(party, protocol))).unwrap();
+    }
+    let outcome = net.run(100).unwrap();
+    outcome.metrics.total_messages()
+}
+
+fn run_committee_broadcast(k: usize, t: usize) -> u64 {
+    let parties = PartySet::new(k);
+    let committee = Committee::new(parties.left().collect(), t);
+    let sender = PartyId::right(0);
+    let mut net: SyncNetwork<bsm_broadcast::CommitteeMsg<u64>, u64> =
+        SyncNetwork::new(k, Topology::FullyConnected, CorruptionBudget::NONE);
+    for party in parties.iter() {
+        let config = CommitteeBroadcastConfig {
+            me: party,
+            sender,
+            committee: committee.clone(),
+            all_parties: parties.iter().collect(),
+            default: 0,
+        };
+        let protocol = CommitteeBroadcast::new(config, if party == sender { 99 } else { 0 });
+        net.register(Box::new(RoundDriver::new(party, protocol))).unwrap();
+    }
+    let outcome = net.run(200).unwrap();
+    outcome.metrics.total_messages()
+}
+
+fn run_phase_king(k: usize, t: usize) -> u64 {
+    let parties = PartySet::new(k);
+    let committee = Committee::new(parties.left().collect(), t);
+    let mut net: SyncNetwork<bsm_broadcast::KingMsg<u64>, u64> =
+        SyncNetwork::new(k, Topology::FullyConnected, CorruptionBudget::NONE);
+    for party in parties.iter() {
+        if party.is_left() {
+            let protocol = PhaseKing::new(committee.clone(), party, u64::from(party.index % 2));
+            net.register(Box::new(RoundDriver::new(party, protocol))).unwrap();
+        } else {
+            net.register(Box::new(bsm_net::SilentProcess::new(party))).unwrap();
+        }
+    }
+    let mut net = net;
+    for _ in 0..(PhaseKing::<u64>::total_rounds(&committee) + 1) {
+        net.step();
+    }
+    net.metrics().total_messages()
+}
+
+fn bench_broadcast_primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_primitives");
+    group.sample_size(10);
+    for k in [3usize, 5, 8] {
+        let t = (k - 1) / 3;
+        group.bench_with_input(BenchmarkId::new("dolev_strong", k), &k, |b, &k| {
+            b.iter(|| black_box(run_dolev_strong(k, k - 1)))
+        });
+        group.bench_with_input(BenchmarkId::new("committee_broadcast", k), &k, |b, &k| {
+            b.iter(|| black_box(run_committee_broadcast(k, t)))
+        });
+        group.bench_with_input(BenchmarkId::new("phase_king", k), &k, |b, &k| {
+            b.iter(|| black_box(run_phase_king(k, t)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast_primitives);
+criterion_main!(benches);

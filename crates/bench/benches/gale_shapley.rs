@@ -1,0 +1,33 @@
+//! E9 — the `AG-S` substrate (Theorem 1): Gale–Shapley runtime and proposal counts
+//! across workload families and market sizes.
+
+use bsm_matching::gale_shapley::{gale_shapley, ProposingSide};
+use bsm_matching::generators::{master_list_profile, similar_profile, uniform_profile};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_gale_shapley(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gale_shapley");
+    for k in [16usize, 64, 128, 256] {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let uniform = uniform_profile(k, &mut rng);
+        let master = master_list_profile(k, &mut rng);
+        let similar = similar_profile(k, k / 4, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("uniform", k), &uniform, |b, profile| {
+            b.iter(|| gale_shapley(black_box(profile), ProposingSide::Left))
+        });
+        group.bench_with_input(BenchmarkId::new("master_list", k), &master, |b, profile| {
+            b.iter(|| gale_shapley(black_box(profile), ProposingSide::Left))
+        });
+        group.bench_with_input(BenchmarkId::new("similar", k), &similar, |b, profile| {
+            b.iter(|| gale_shapley(black_box(profile), ProposingSide::Left))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gale_shapley);
+criterion_main!(benches);

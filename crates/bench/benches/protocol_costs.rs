@@ -1,0 +1,39 @@
+//! E6 / E7 / E11 — end-to-end protocol cost: wall-clock time of full bSM runs for the
+//! Dolev–Strong and committee-broadcast plans as the market grows.
+
+use bsm_bench::run_boundary_scenario;
+use bsm_core::harness::AdversarySpec;
+use bsm_core::problem::{AuthMode, Setting};
+use bsm_net::Topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_protocol_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_costs");
+    group.sample_size(10);
+    for k in [2usize, 3, 4] {
+        let t = (k - 1) / 3;
+        let auth = Setting::new(k, Topology::FullyConnected, AuthMode::Authenticated, k / 2, k / 2)
+            .unwrap();
+        group.bench_with_input(BenchmarkId::new("dolev_strong_full_mesh", k), &auth, |b, &s| {
+            b.iter(|| black_box(run_boundary_scenario(s, AdversarySpec::Crash, 1)))
+        });
+        let unauth =
+            Setting::new(k, Topology::FullyConnected, AuthMode::Unauthenticated, t, t).unwrap();
+        group.bench_with_input(BenchmarkId::new("committee_full_mesh", k), &unauth, |b, &s| {
+            b.iter(|| black_box(run_boundary_scenario(s, AdversarySpec::Crash, 2)))
+        });
+    }
+    // ΠbSM with a fully byzantine right side needs k ≥ 4 for a meaningful committee.
+    for k in [4usize, 5] {
+        let t = (k - 1) / 3;
+        let pibsm = Setting::new(k, Topology::Bipartite, AuthMode::Authenticated, t, k).unwrap();
+        group.bench_with_input(BenchmarkId::new("pi_bsm_bipartite", k), &pibsm, |b, &s| {
+            b.iter(|| black_box(run_boundary_scenario(s, AdversarySpec::Crash, 3)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol_costs);
+criterion_main!(benches);

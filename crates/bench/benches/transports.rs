@@ -1,0 +1,36 @@
+//! E10 — relay-overhead ablation: the same authenticated market solved over the three
+//! topologies (direct channels vs signed relays, Lemma 8).
+
+use bsm_bench::run_boundary_scenario;
+use bsm_core::harness::AdversarySpec;
+use bsm_core::problem::{AuthMode, Setting};
+use bsm_net::Topology;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_transports(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transports");
+    group.sample_size(10);
+    let k = 4usize;
+    for topology in Topology::ALL {
+        let setting = Setting::new(k, topology, AuthMode::Authenticated, 1, 1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("authenticated", topology.name()),
+            &setting,
+            |b, &s| b.iter(|| black_box(run_boundary_scenario(s, AdversarySpec::Lying, 7))),
+        );
+    }
+    // The unauthenticated majority relay (Lemma 6) for comparison.
+    for topology in [Topology::OneSided, Topology::Bipartite] {
+        let setting = Setting::new(k, topology, AuthMode::Unauthenticated, 1, 1).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("unauthenticated", topology.name()),
+            &setting,
+            |b, &s| b.iter(|| black_box(run_boundary_scenario(s, AdversarySpec::Lying, 8))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_transports);
+criterion_main!(benches);

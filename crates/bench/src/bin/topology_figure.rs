@@ -1,0 +1,35 @@
+//! Experiment E2 — Fig. 1 of the paper: the three communication topologies, printed as
+//! adjacency matrices together with their channel counts.
+
+use bsm_net::{PartyId, PartySet, Topology};
+
+fn main() {
+    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let parties: Vec<PartyId> = PartySet::new(k).iter().collect();
+    println!("# E2 — Fig. 1: communication topologies (k = {k})\n");
+    for topology in Topology::ALL {
+        println!("## {topology} ({} channels)\n", topology.channel_count(k));
+        print!("     ");
+        for p in &parties {
+            print!("{p:>4}");
+        }
+        println!();
+        for a in &parties {
+            print!("{a:>4} ");
+            for b in &parties {
+                let cell = if a == b {
+                    "  · "
+                } else if topology.connects(*a, *b) {
+                    "  ■ "
+                } else {
+                    "  . "
+                };
+                print!("{cell}");
+            }
+            println!();
+        }
+        println!();
+    }
+    println!("■ = bidirectional authenticated channel, . = no channel, · = self");
+    println!("The matching is always across the two sides, regardless of the topology.");
+}

@@ -1,0 +1,404 @@
+use crate::value::Value;
+use bsm_crypto::{Digest, DigestWriter, Digestible, KeyId, Pki, Signature, SigningKey};
+use bsm_net::{Outgoing, PartyId, RoundProtocol};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A Dolev–Strong message: a candidate value together with its signature chain.
+///
+/// A chain of length `r` must start with the designated sender's signature and contain
+/// `r` distinct valid signatures over the instance digest of `value`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DolevStrongMsg<V> {
+    /// The broadcast value being relayed.
+    pub value: V,
+    /// The accumulated signature chain.
+    pub chain: Vec<Signature>,
+}
+
+impl<V: Digestible> Digestible for DolevStrongMsg<V> {
+    fn feed(&self, writer: &mut DigestWriter) {
+        writer.label("ds-msg");
+        self.value.feed(writer);
+        self.chain.feed(writer);
+    }
+}
+
+/// Configuration of a [`DolevStrong`] instance.
+#[derive(Debug, Clone)]
+pub struct DolevStrongConfig {
+    /// The party running this instance.
+    pub me: PartyId,
+    /// The designated sender.
+    pub sender: PartyId,
+    /// All parties participating in the instance (must include `me` and `sender`).
+    pub participants: Vec<PartyId>,
+    /// Upper bound on corrupted participants; any `t < participants.len()` is supported.
+    pub t: usize,
+    /// Instance tag, for domain separation between parallel broadcasts.
+    pub instance: u64,
+    /// The public-key directory.
+    pub pki: Pki,
+    /// Mapping from participants to their key ids in the directory.
+    pub key_of: BTreeMap<PartyId, KeyId>,
+}
+
+impl DolevStrongConfig {
+    fn key_of(&self, party: PartyId) -> Option<KeyId> {
+        self.key_of.get(&party).copied()
+    }
+
+    fn party_of(&self, key: KeyId) -> Option<PartyId> {
+        self.key_of.iter().find(|(_, &k)| k == key).map(|(&p, _)| p)
+    }
+}
+
+/// The Dolev–Strong authenticated byzantine broadcast protocol, resilient against any
+/// number `t < n` of corruptions given a PKI (used for Theorem 5: with a fully-connected
+/// authenticated network, bSM is always solvable).
+///
+/// The protocol runs `t + 1` relay rounds after the sender's initial round; at the end,
+/// a party outputs the unique value it extracted, or the default value if the (then
+/// necessarily byzantine) sender caused zero or several values to be extracted.
+#[derive(Debug)]
+pub struct DolevStrong<V> {
+    config: DolevStrongConfig,
+    signing_key: SigningKey,
+    input: Option<V>,
+    default: V,
+    extracted: BTreeSet<V>,
+    output: Option<V>,
+}
+
+impl<V: Value + Digestible> DolevStrong<V> {
+    /// Creates an instance for `config.me`.
+    ///
+    /// `input` is the value to broadcast (required iff `me == sender`); `default` is
+    /// the fallback output when the sender misbehaves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` or `sender` is missing from the participants/key map, if the
+    /// signing key does not belong to `me`, or if the sender has no input.
+    pub fn new(config: DolevStrongConfig, signing_key: SigningKey, input: Option<V>, default: V) -> Self {
+        assert!(
+            config.participants.contains(&config.me),
+            "the local party must be a participant"
+        );
+        assert!(
+            config.participants.contains(&config.sender),
+            "the sender must be a participant"
+        );
+        assert!(
+            config.key_of.contains_key(&config.me) && config.key_of.contains_key(&config.sender),
+            "participants must have keys in the directory"
+        );
+        assert_eq!(
+            Some(signing_key.id()),
+            config.key_of(config.me),
+            "the signing key must belong to the local party"
+        );
+        if config.me == config.sender {
+            assert!(input.is_some(), "the sender must hold an input value");
+        }
+        Self { config, signing_key, input, default, extracted: BTreeSet::new(), output: None }
+    }
+
+    /// Number of round invocations until the output is available: `t + 2`.
+    pub fn total_rounds(t: usize) -> u64 {
+        t as u64 + 2
+    }
+
+    /// The digest signed by every link of a chain for `value` in this instance.
+    pub fn instance_digest(config: &DolevStrongConfig, value: &V) -> Digest {
+        let mut writer = DigestWriter::new();
+        writer
+            .label("dolev-strong")
+            .u64(config.instance)
+            .u64(u64::from(config.key_of(config.sender).expect("sender has a key").0));
+        value.feed(&mut writer);
+        writer.finish()
+    }
+
+    fn chain_is_valid(&self, msg: &DolevStrongMsg<V>, round: u64) -> bool {
+        let chain = &msg.chain;
+        if (chain.len() as u64) < round || chain.is_empty() {
+            return false;
+        }
+        let sender_key = match self.config.key_of(self.config.sender) {
+            Some(key) => key,
+            None => return false,
+        };
+        if chain[0].signer() != sender_key {
+            return false;
+        }
+        let mut seen = BTreeSet::new();
+        let digest = Self::instance_digest(&self.config, &msg.value);
+        for signature in chain {
+            if !seen.insert(signature.signer()) {
+                return false;
+            }
+            let signer_party = match self.config.party_of(signature.signer()) {
+                Some(p) => p,
+                None => return false,
+            };
+            if !self.config.participants.contains(&signer_party) {
+                return false;
+            }
+            if !self.config.pki.verify(signature, digest) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn relay(&self, msg: &DolevStrongMsg<V>) -> Vec<Outgoing<DolevStrongMsg<V>>> {
+        let my_key = self.signing_key.id();
+        if msg.chain.iter().any(|s| s.signer() == my_key) {
+            return Vec::new();
+        }
+        let digest = Self::instance_digest(&self.config, &msg.value);
+        let mut chain = msg.chain.clone();
+        chain.push(self.signing_key.sign(digest));
+        let extended = DolevStrongMsg { value: msg.value.clone(), chain };
+        self.config
+            .participants
+            .iter()
+            .copied()
+            .filter(|&p| p != self.config.me)
+            .map(|p| Outgoing::new(p, extended.clone()))
+            .collect()
+    }
+}
+
+impl<V: Value + Digestible> RoundProtocol for DolevStrong<V> {
+    type Msg = DolevStrongMsg<V>;
+    type Output = V;
+
+    fn round(&mut self, round: u64, inbox: &[(PartyId, DolevStrongMsg<V>)]) -> Vec<Outgoing<DolevStrongMsg<V>>> {
+        if self.output.is_some() {
+            return Vec::new();
+        }
+        let t = self.config.t as u64;
+        let mut out = Vec::new();
+
+        if round == 0 {
+            if self.config.me == self.config.sender {
+                let value = self.input.clone().expect("sender holds an input");
+                let digest = Self::instance_digest(&self.config, &value);
+                let chain = vec![self.signing_key.sign(digest)];
+                self.extracted.insert(value.clone());
+                let msg = DolevStrongMsg { value, chain };
+                for &p in &self.config.participants {
+                    if p != self.config.me {
+                        out.push(Outgoing::new(p, msg.clone()));
+                    }
+                }
+            }
+            return out;
+        }
+
+        if round <= t + 1 {
+            for (_, msg) in inbox {
+                if self.extracted.len() >= 2 {
+                    break;
+                }
+                if self.extracted.contains(&msg.value) {
+                    continue;
+                }
+                if !self.chain_is_valid(msg, round) {
+                    continue;
+                }
+                self.extracted.insert(msg.value.clone());
+                if round <= t {
+                    out.extend(self.relay(msg));
+                }
+            }
+        }
+
+        if round == t + 1 {
+            let decision = if self.extracted.len() == 1 {
+                self.extracted.iter().next().expect("set has one element").clone()
+            } else {
+                self.default.clone()
+            };
+            self.output = Some(decision);
+        }
+        out
+    }
+
+    fn output(&self) -> Option<V> {
+        self.output.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(n: u32, t: usize, sender: PartyId) -> (Pki, BTreeMap<PartyId, KeyId>, Vec<PartyId>, DolevStrongConfig) {
+        // Participants: n left-side parties (the side structure is irrelevant here).
+        let participants: Vec<PartyId> = (0..n).map(PartyId::left).collect();
+        let pki = Pki::new(n);
+        let key_of: BTreeMap<PartyId, KeyId> =
+            participants.iter().enumerate().map(|(i, &p)| (p, KeyId(i as u32))).collect();
+        let config = DolevStrongConfig {
+            me: participants[0],
+            sender,
+            participants: participants.clone(),
+            t,
+            instance: 7,
+            pki: pki.clone(),
+            key_of: key_of.clone(),
+        };
+        (pki, key_of, participants, config)
+    }
+
+    fn instance_for(
+        config: &DolevStrongConfig,
+        pki: &Pki,
+        key_of: &BTreeMap<PartyId, KeyId>,
+        me: PartyId,
+        input: Option<u64>,
+    ) -> DolevStrong<u64> {
+        let key = pki.signing_key(key_of[&me].0).unwrap();
+        let mut config = config.clone();
+        config.me = me;
+        DolevStrong::new(config, key, input, u64::MAX)
+    }
+
+    fn run_honest(n: u32, t: usize, value: u64) -> Vec<u64> {
+        let sender = PartyId::left(0);
+        let (pki, key_of, participants, config) = setup(n, t, sender);
+        let mut instances: Vec<DolevStrong<u64>> = participants
+            .iter()
+            .map(|&p| instance_for(&config, &pki, &key_of, p, if p == sender { Some(value) } else { None }))
+            .collect();
+        let total = DolevStrong::<u64>::total_rounds(t);
+        let mut pending: Vec<Vec<(PartyId, DolevStrongMsg<u64>)>> = vec![Vec::new(); n as usize];
+        for round in 0..total {
+            let inboxes = std::mem::replace(&mut pending, vec![Vec::new(); n as usize]);
+            for (idx, instance) in instances.iter_mut().enumerate() {
+                for msg in instance.round(round, &inboxes[idx]) {
+                    let to = participants.iter().position(|&p| p == msg.to).unwrap();
+                    pending[to].push((participants[idx], msg.payload));
+                }
+            }
+        }
+        instances.iter().map(|i| i.output().expect("terminates")).collect()
+    }
+
+    #[test]
+    fn honest_sender_reaches_everyone() {
+        for (n, t) in [(2u32, 1usize), (4, 1), (4, 3), (5, 2)] {
+            let outputs = run_honest(n, t, 42);
+            assert!(outputs.iter().all(|&v| v == 42), "n={n} t={t}: {outputs:?}");
+        }
+    }
+
+    #[test]
+    fn crashed_sender_yields_default_everywhere() {
+        let sender = PartyId::left(0);
+        let (pki, key_of, participants, config) = setup(4, 2, sender);
+        // The sender never sends: every other party must output the default.
+        let mut instances: Vec<DolevStrong<u64>> = participants
+            .iter()
+            .skip(1)
+            .map(|&p| instance_for(&config, &pki, &key_of, p, None))
+            .collect();
+        let total = DolevStrong::<u64>::total_rounds(2);
+        for round in 0..total {
+            for instance in instances.iter_mut() {
+                instance.round(round, &[]);
+            }
+        }
+        assert!(instances.iter().all(|i| i.output() == Some(u64::MAX)));
+    }
+
+    #[test]
+    fn forged_chains_are_rejected() {
+        let sender = PartyId::left(0);
+        let (pki, key_of, _participants, config) = setup(3, 1, sender);
+        let mut receiver = instance_for(&config, &pki, &key_of, PartyId::left(1), None);
+
+        // A byzantine party (L2) tries to inject a value with its own signature instead
+        // of the sender's.
+        let byz_key = pki.signing_key(key_of[&PartyId::left(2)].0).unwrap();
+        let bogus_value = 13u64;
+        let digest = DolevStrong::<u64>::instance_digest(&config, &bogus_value);
+        let bogus = DolevStrongMsg { value: bogus_value, chain: vec![byz_key.sign(digest)] };
+        receiver.round(0, &[]);
+        receiver.round(1, &[(PartyId::left(2), bogus)]);
+        let total = DolevStrong::<u64>::total_rounds(1);
+        for round in 2..total {
+            receiver.round(round, &[]);
+        }
+        assert_eq!(receiver.output(), Some(u64::MAX), "the forged value must not be extracted");
+    }
+
+    #[test]
+    fn chain_with_duplicate_signers_is_rejected() {
+        let sender = PartyId::left(0);
+        let (pki, key_of, _participants, config) = setup(3, 2, sender);
+        let receiver_id = PartyId::left(1);
+        let mut receiver = instance_for(&config, &pki, &key_of, receiver_id, None);
+        let sender_key = pki.signing_key(key_of[&sender].0).unwrap();
+        let value = 9u64;
+        let digest = DolevStrong::<u64>::instance_digest(&config, &value);
+        let sig = sender_key.sign(digest);
+        // Round 2 requires two distinct signatures; a duplicated sender signature is not
+        // enough.
+        let msg = DolevStrongMsg { value, chain: vec![sig, sig] };
+        receiver.round(0, &[]);
+        receiver.round(1, &[]);
+        receiver.round(2, &[(PartyId::left(2), msg)]);
+        let total = DolevStrong::<u64>::total_rounds(2);
+        for round in 3..total {
+            receiver.round(round, &[]);
+        }
+        assert_eq!(receiver.output(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn short_chain_arriving_late_is_rejected() {
+        let sender = PartyId::left(0);
+        let (pki, key_of, _participants, config) = setup(3, 1, sender);
+        let receiver_id = PartyId::left(1);
+        let mut receiver = instance_for(&config, &pki, &key_of, receiver_id, None);
+        let sender_key = pki.signing_key(key_of[&sender].0).unwrap();
+        let value = 5u64;
+        let digest = DolevStrong::<u64>::instance_digest(&config, &value);
+        let msg = DolevStrongMsg { value, chain: vec![sender_key.sign(digest)] };
+        // A single-signature chain delivered at round 2 (it should have been extended by
+        // a relay) is too short and must be ignored.
+        receiver.round(0, &[]);
+        receiver.round(1, &[]);
+        receiver.round(2, &[(PartyId::left(2), msg)]);
+        assert_eq!(receiver.output(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn total_rounds_formula() {
+        assert_eq!(DolevStrong::<u64>::total_rounds(0), 2);
+        assert_eq!(DolevStrong::<u64>::total_rounds(3), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "signing key must belong")]
+    fn wrong_key_is_rejected() {
+        let sender = PartyId::left(0);
+        let (pki, key_of, _participants, config) = setup(3, 1, sender);
+        let wrong_key = pki.signing_key(key_of[&PartyId::left(2)].0).unwrap();
+        let mut config = config;
+        config.me = PartyId::left(1);
+        let _ = DolevStrong::<u64>::new(config, wrong_key, None, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "sender must hold an input")]
+    fn sender_without_input_panics() {
+        let sender = PartyId::left(0);
+        let (pki, key_of, _participants, config) = setup(3, 1, sender);
+        let key = pki.signing_key(key_of[&sender].0).unwrap();
+        let _ = DolevStrong::<u64>::new(config, key, None, 0);
+    }
+}

@@ -1,0 +1,14 @@
+//! The constructive bSM protocols.
+//!
+//! * [`broadcast_based`] — the Lemma 1 reduction: every party broadcasts its preference
+//!   list (via Dolev–Strong or committee broadcast), everyone runs `AG-S` locally and
+//!   outputs its own match.
+//! * [`bipartite_auth`] — `ΠbSM` (Lemma 9): the committee side gathers all lists over
+//!   omission-prone relayed channels, matches locally, and the other side adopts the
+//!   most common suggestion.
+
+pub mod bipartite_auth;
+pub mod broadcast_based;
+
+pub use bipartite_auth::BipartiteAuthBsm;
+pub use broadcast_based::{BroadcastBsm, BroadcastFlavor};

@@ -1,0 +1,163 @@
+//! Simplified stable matching (sSM, §3) as a runnable problem.
+//!
+//! In sSM every party's input is a single *favorite* on the other side instead of a full
+//! preference list, and stability is replaced by simplified stability (mutual favorites
+//! must be matched). Lemma 2 shows that any bSM protocol solves sSM after ranking the
+//! favorite first — this module packages that reduction so the experiments can exercise
+//! sSM scenarios directly (all of the paper's impossibility arguments are stated for
+//! sSM).
+
+use crate::harness::{AdversarySpec, HarnessError, Scenario, ScenarioOutcome};
+use crate::problem::{Setting, SsmInstance};
+use crate::properties::{check_ssm, PropertyViolation};
+use bsm_matching::PreferenceProfile;
+use bsm_net::PartyId;
+use std::collections::BTreeSet;
+
+/// The outcome of an sSM run: the underlying bSM outcome plus the violations measured
+/// against the *simplified* property set.
+#[derive(Debug, Clone)]
+pub struct SsmOutcome {
+    /// The underlying bSM run.
+    pub bsm: ScenarioOutcome,
+    /// Violations of termination, symmetry, non-competition and simplified stability.
+    pub violations: Vec<PropertyViolation>,
+}
+
+/// A simplified stable matching scenario: favorites as inputs, solved through the
+/// Lemma 2 reduction.
+#[derive(Debug, Clone)]
+pub struct SsmScenario {
+    setting: Setting,
+    instance: SsmInstance,
+    adversary: AdversarySpec,
+    seed: u64,
+}
+
+impl SsmScenario {
+    /// Creates an sSM scenario.
+    ///
+    /// `left_favorites[i]` / `right_favorites[j]` are the favorite opposite-side indices
+    /// of left party `i` / right party `j`; `corrupted` lists the byzantine parties.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HarnessError::ProfileMismatch`] if the favorite vectors do not have
+    /// exactly `k` entries each.
+    pub fn new(
+        setting: Setting,
+        left_favorites: Vec<usize>,
+        right_favorites: Vec<usize>,
+        corrupted: BTreeSet<PartyId>,
+        adversary: AdversarySpec,
+        seed: u64,
+    ) -> Result<Self, HarnessError> {
+        let k = setting.k();
+        if left_favorites.len() != k || right_favorites.len() != k {
+            return Err(HarnessError::ProfileMismatch {
+                expected: k,
+                found: left_favorites.len().min(right_favorites.len()),
+            });
+        }
+        let instance = SsmInstance { left_favorites, right_favorites, corrupted };
+        Ok(Self { setting, instance, adversary, seed })
+    }
+
+    /// The sSM inputs.
+    pub fn instance(&self) -> &SsmInstance {
+        &self.instance
+    }
+
+    /// The full-preference profile produced by the Lemma 2 reduction.
+    pub fn reduced_profile(&self) -> PreferenceProfile {
+        self.instance.to_bsm().profile
+    }
+
+    /// Runs the scenario: favorites are expanded into favorite-first preference lists
+    /// (Lemma 2), the appropriate bSM protocol runs, and the outputs are checked against
+    /// the simplified property set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying harness errors (in particular
+    /// [`HarnessError::Unsolvable`] for settings outside Theorems 2–7).
+    pub fn run(&self) -> Result<SsmOutcome, HarnessError> {
+        let bsm_instance = self.instance.to_bsm();
+        let mut builder = Scenario::builder(self.setting)
+            .profile(bsm_instance.profile.clone())
+            .adversary(self.adversary)
+            .seed(self.seed);
+        let left: Vec<u32> =
+            self.instance.corrupted.iter().filter(|p| p.is_left()).map(|p| p.index).collect();
+        let right: Vec<u32> =
+            self.instance.corrupted.iter().filter(|p| p.is_right()).map(|p| p.index).collect();
+        builder = builder.corrupt_left(left).corrupt_right(right);
+        let outcome = builder.build()?.run()?;
+        let mut instance = self.instance.clone();
+        // Property checks are made against the parties that actually ended up corrupted.
+        instance.corrupted = outcome.corrupted.clone();
+        let violations = check_ssm(&instance, &outcome.outputs);
+        Ok(SsmOutcome { bsm: outcome, violations })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::AuthMode;
+    use bsm_net::Topology;
+
+    #[test]
+    fn mutual_favorites_are_matched_in_feasible_settings() {
+        let setting =
+            Setting::new(3, Topology::FullyConnected, AuthMode::Authenticated, 1, 1).unwrap();
+        // L0 and R2 are mutual favorites; L1/R1 corrupted.
+        let scenario = SsmScenario::new(
+            setting,
+            vec![2, 0, 1],
+            vec![1, 2, 0],
+            [PartyId::left(1), PartyId::right(1)].into_iter().collect(),
+            AdversarySpec::Lying,
+            5,
+        )
+        .unwrap();
+        assert_eq!(scenario.instance().left_favorites, vec![2, 0, 1]);
+        assert_eq!(scenario.reduced_profile().left(0).favorite(), 2);
+        let outcome = scenario.run().unwrap();
+        assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
+        assert!(outcome.bsm.violations.is_empty());
+        assert_eq!(outcome.bsm.outputs[&PartyId::left(0)], Some(PartyId::right(2)));
+        assert_eq!(outcome.bsm.outputs[&PartyId::right(2)], Some(PartyId::left(0)));
+    }
+
+    #[test]
+    fn favorite_vectors_must_have_length_k() {
+        let setting =
+            Setting::new(3, Topology::FullyConnected, AuthMode::Authenticated, 0, 0).unwrap();
+        let result = SsmScenario::new(
+            setting,
+            vec![0, 1],
+            vec![0, 1, 2],
+            BTreeSet::new(),
+            AdversarySpec::Crash,
+            0,
+        );
+        assert!(matches!(result, Err(HarnessError::ProfileMismatch { .. })));
+    }
+
+    #[test]
+    fn unsolvable_settings_propagate_the_impossibility() {
+        let setting =
+            Setting::new(3, Topology::FullyConnected, AuthMode::Unauthenticated, 1, 1).unwrap();
+        let scenario = SsmScenario::new(
+            setting,
+            vec![0, 1, 2],
+            vec![0, 1, 2],
+            BTreeSet::new(),
+            AdversarySpec::Crash,
+            0,
+        )
+        .unwrap();
+        assert!(matches!(scenario.run(), Err(HarnessError::Unsolvable(_))));
+    }
+}

@@ -1,0 +1,216 @@
+//! The wire format of the composite bSM protocols.
+//!
+//! Every protocol plan runs many sub-protocol instances in parallel (one broadcast per
+//! party, one agreement per opposite-side party, …). [`ProtoMsg`] multiplexes them with
+//! an instance tag, and [`WireMsg`] adds the channel-simulation layer: either a direct
+//! payload or the relay-request / relay-delivery pair used to simulate missing channels
+//! (Lemmas 6, 8 and 10).
+
+use bsm_broadcast::{BaMsg, BbMsg, CommitteeMsg, DolevStrongMsg};
+use bsm_crypto::{DigestWriter, Digestible, Signature};
+use bsm_matching::{PreferenceList, Side};
+use bsm_net::PartyId;
+
+/// A preference list in wire form: the ranked opposite-side indices, most preferred
+/// first.
+pub type PrefVec = Vec<u64>;
+
+/// Converts a validated preference list into its wire form.
+pub fn pref_to_vec(list: &PreferenceList) -> PrefVec {
+    list.iter().map(|p| p as u64).collect()
+}
+
+/// Parses a wire-form preference list for a market of size `k`.
+///
+/// Returns `None` if the payload is not a permutation of `0..k` — the caller then
+/// substitutes the default list, exactly as Lemma 1 prescribes for byzantine parties
+/// that distribute garbage.
+pub fn vec_to_pref(k: usize, value: &PrefVec) -> Option<PreferenceList> {
+    if value.len() != k {
+        return None;
+    }
+    let order: Vec<usize> = value
+        .iter()
+        .map(|&v| usize::try_from(v).ok().filter(|&idx| idx < k))
+        .collect::<Option<Vec<_>>>()?;
+    PreferenceList::new(order).ok()
+}
+
+/// The default preference list (identity order) assigned to parties whose broadcast
+/// never produced a valid list.
+pub fn default_pref(k: usize) -> PreferenceList {
+    PreferenceList::identity(k)
+}
+
+/// The default preference list in wire form.
+pub fn default_pref_vec(k: usize) -> PrefVec {
+    pref_to_vec(&default_pref(k))
+}
+
+/// A sub-protocol payload, tagged with the instance it belongs to.
+///
+/// Instance numbering convention: for per-party broadcast instances, the instance is the
+/// dense index of the *subject* party (the broadcaster for `Ds`/`Cb`/`Bb`, the announced
+/// party for `Ba`); `PrefAnnounce` and `Suggest` use instance 0 (the sender identifies
+/// the subject).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoMsg {
+    /// The sub-protocol instance this payload belongs to.
+    pub instance: u32,
+    /// The payload.
+    pub body: ProtoBody,
+}
+
+/// The payload of one sub-protocol message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoBody {
+    /// Dolev–Strong broadcast traffic (authenticated Lemma 1 plan).
+    Ds(DolevStrongMsg<PrefVec>),
+    /// Committee broadcast traffic (unauthenticated Lemma 1 plan).
+    Cb(CommitteeMsg<PrefVec>),
+    /// `ΠbSM`: a preference list announced directly to the committee side.
+    PrefAnnounce(PrefVec),
+    /// `ΠbSM`: `ΠBB` traffic among the committee side.
+    Bb(BbMsg<PrefVec>),
+    /// `ΠbSM`: `ΠBA` traffic among the committee side.
+    Ba(BaMsg<PrefVec>),
+    /// `ΠbSM`: a matching suggestion sent to an opposite-side party (`None` = match
+    /// nobody; `Some(i)` = match committee-side party `i`).
+    Suggest(Option<u64>),
+}
+
+impl Digestible for ProtoBody {
+    fn feed(&self, writer: &mut DigestWriter) {
+        match self {
+            ProtoBody::Ds(m) => {
+                writer.label("ds");
+                m.feed(writer);
+            }
+            ProtoBody::Cb(m) => {
+                writer.label("cb");
+                m.feed(writer);
+            }
+            ProtoBody::PrefAnnounce(v) => {
+                writer.label("announce");
+                v.feed(writer);
+            }
+            ProtoBody::Bb(m) => {
+                writer.label("bb");
+                m.feed(writer);
+            }
+            ProtoBody::Ba(m) => {
+                writer.label("ba");
+                m.feed(writer);
+            }
+            ProtoBody::Suggest(s) => {
+                writer.label("suggest");
+                s.feed(writer);
+            }
+        }
+    }
+}
+
+impl Digestible for ProtoMsg {
+    fn feed(&self, writer: &mut DigestWriter) {
+        writer.label("proto-msg").u64(u64::from(self.instance));
+        self.body.feed(writer);
+    }
+}
+
+/// A message on the simulated network: either a direct sub-protocol payload between
+/// connected parties, or one hop of the channel-simulation relay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// A direct payload (the sender is the envelope sender).
+    Direct(ProtoMsg),
+    /// "Please forward `inner` to `target` on my behalf" — sent by the origin to the
+    /// relaying side. The origin is the envelope sender.
+    RelayRequest {
+        /// Final destination of the relayed payload.
+        target: PartyId,
+        /// Per-origin message identifier.
+        id: u64,
+        /// Slot at which the origin handed the message to the relays (the `τ` of the
+        /// paper's `(P → P′, τ, id, m)` tuples).
+        sent_at: u64,
+        /// The relayed payload.
+        inner: ProtoMsg,
+        /// Origin signature over the relay digest (authenticated settings only).
+        signature: Option<Signature>,
+    },
+    /// A relayed payload delivered to its target. The envelope sender is the relayer.
+    RelayDeliver {
+        /// The original sender.
+        origin: PartyId,
+        /// The final destination (must be the receiving party).
+        target: PartyId,
+        /// Per-origin message identifier.
+        id: u64,
+        /// Slot at which the origin handed the message to the relays.
+        sent_at: u64,
+        /// The relayed payload.
+        inner: ProtoMsg,
+        /// Origin signature over the relay digest (authenticated settings only).
+        signature: Option<Signature>,
+    },
+}
+
+/// Maps a party to its dense PKI key index for a market of size `k` (left parties first,
+/// then right parties).
+pub fn dense_key_index(party: PartyId, k: usize) -> u32 {
+    party.dense(k) as u32
+}
+
+/// The side-local index of a dense index.
+pub fn party_from_dense(dense: u32, k: usize) -> PartyId {
+    PartyId::from_dense(dense as usize, k)
+}
+
+/// Lists all parties of a side, in index order.
+pub fn side_parties(side: Side, k: usize) -> Vec<PartyId> {
+    (0..k as u32).map(|i| PartyId { side, index: i }).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsm_crypto::Digest;
+
+    #[test]
+    fn pref_roundtrip() {
+        let list = PreferenceList::new(vec![2, 0, 1]).unwrap();
+        let wire = pref_to_vec(&list);
+        assert_eq!(wire, vec![2, 0, 1]);
+        assert_eq!(vec_to_pref(3, &wire), Some(list));
+    }
+
+    #[test]
+    fn invalid_wire_lists_are_rejected() {
+        assert_eq!(vec_to_pref(3, &vec![0, 0, 1]), None);
+        assert_eq!(vec_to_pref(3, &vec![0, 1]), None);
+        assert_eq!(vec_to_pref(3, &vec![0, 1, 5]), None);
+        assert_eq!(vec_to_pref(2, &default_pref_vec(2)), Some(default_pref(2)));
+    }
+
+    #[test]
+    fn digests_distinguish_bodies_and_instances() {
+        let a = ProtoMsg { instance: 0, body: ProtoBody::PrefAnnounce(vec![0, 1]) };
+        let b = ProtoMsg { instance: 1, body: ProtoBody::PrefAnnounce(vec![0, 1]) };
+        let c = ProtoMsg { instance: 0, body: ProtoBody::Suggest(Some(1)) };
+        let d = ProtoMsg { instance: 0, body: ProtoBody::Suggest(None) };
+        let digests = [Digest::of(&a), Digest::of(&b), Digest::of(&c), Digest::of(&d)];
+        for i in 0..digests.len() {
+            for j in i + 1..digests.len() {
+                assert_ne!(digests[i], digests[j], "{i} vs {j}");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_index_helpers() {
+        assert_eq!(dense_key_index(PartyId::left(2), 4), 2);
+        assert_eq!(dense_key_index(PartyId::right(1), 4), 5);
+        assert_eq!(party_from_dense(5, 4), PartyId::right(1));
+        assert_eq!(side_parties(Side::Right, 2), vec![PartyId::right(0), PartyId::right(1)]);
+    }
+}

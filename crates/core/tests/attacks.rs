@@ -1,0 +1,67 @@
+//! The impossibility constructions (Lemmas 5, 7, 13) executed end-to-end: running the
+//! constructive protocols just beyond their thresholds against the tailored adversaries
+//! must produce bSM property violations (experiments E3–E5).
+
+use bsm_core::attacks::{full_side_partition_attack, relay_denial_attack, split_brain_attack};
+use bsm_core::properties::PropertyViolation;
+use bsm_core::solvability::{characterize, Solvability};
+use bsm_net::Topology;
+
+fn has_non_competition(violations: &[PropertyViolation]) -> bool {
+    violations.iter().any(|v| matches!(v, PropertyViolation::NonCompetition { .. }))
+}
+
+#[test]
+fn lemma5_split_brain_attack_breaks_non_competition() {
+    let attack = split_brain_attack();
+    // The setting itself is unsolvable (Theorem 2).
+    assert!(matches!(characterize(attack.scenario.setting()), Solvability::Unsolvable(_)));
+    let outcome = attack.run().expect("the attack scenario runs");
+    assert!(outcome.all_honest_decided, "termination still holds for this protocol");
+    assert!(
+        !outcome.violations.is_empty(),
+        "running beyond the Theorem 2 threshold must violate bSM, got a clean run"
+    );
+    assert!(
+        has_non_competition(&outcome.violations),
+        "expected a non-competition violation, got {:?}",
+        outcome.violations
+    );
+}
+
+#[test]
+fn lemma7_relay_denial_attack_breaks_non_competition_bipartite() {
+    let attack = relay_denial_attack(Topology::Bipartite);
+    assert!(matches!(characterize(attack.scenario.setting()), Solvability::Unsolvable(_)));
+    let outcome = attack.run().expect("the attack scenario runs");
+    assert!(
+        has_non_competition(&outcome.violations),
+        "expected a non-competition violation, got {:?}",
+        outcome.violations
+    );
+}
+
+#[test]
+fn lemma7_relay_denial_attack_breaks_non_competition_one_sided() {
+    let attack = relay_denial_attack(Topology::OneSided);
+    assert!(matches!(characterize(attack.scenario.setting()), Solvability::Unsolvable(_)));
+    let outcome = attack.run().expect("the attack scenario runs");
+    assert!(
+        !outcome.violations.is_empty(),
+        "running beyond the Theorem 4 threshold must violate bSM"
+    );
+}
+
+#[test]
+fn lemma13_full_side_partition_attack_breaks_non_competition() {
+    for topology in [Topology::OneSided, Topology::Bipartite] {
+        let attack = full_side_partition_attack(topology);
+        assert!(matches!(characterize(attack.scenario.setting()), Solvability::Unsolvable(_)));
+        let outcome = attack.run().expect("the attack scenario runs");
+        assert!(
+            has_non_competition(&outcome.violations),
+            "{topology}: expected a non-competition violation, got {:?}",
+            outcome.violations
+        );
+    }
+}

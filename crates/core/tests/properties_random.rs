@@ -1,0 +1,104 @@
+//! Property-based tests: randomized feasible scenarios never violate bSM, and the
+//! solvability characterization is internally consistent.
+
+use bsm_core::harness::{AdversarySpec, Scenario};
+use bsm_core::problem::{AuthMode, Setting};
+use bsm_core::solvability::{characterize, is_solvable, Solvability};
+use bsm_net::Topology;
+use proptest::prelude::*;
+
+fn arb_topology() -> impl Strategy<Value = Topology> {
+    prop_oneof![
+        Just(Topology::Bipartite),
+        Just(Topology::OneSided),
+        Just(Topology::FullyConnected)
+    ]
+}
+
+fn arb_auth() -> impl Strategy<Value = AuthMode> {
+    prop_oneof![Just(AuthMode::Unauthenticated), Just(AuthMode::Authenticated)]
+}
+
+fn arb_adversary() -> impl Strategy<Value = AdversarySpec> {
+    prop_oneof![
+        Just(AdversarySpec::Crash),
+        Just(AdversarySpec::Lying),
+        Just(AdversarySpec::Garbage)
+    ]
+}
+
+proptest! {
+    // Each case simulates a full protocol run, so keep the number of cases moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random feasible scenarios (setting within its theorem's conditions, corruption
+    /// within budget, arbitrary strategy from the library) always satisfy Definition 1.
+    #[test]
+    fn feasible_random_scenarios_satisfy_bsm(
+        k in 2usize..=4,
+        topology in arb_topology(),
+        auth in arb_auth(),
+        t_l in 0usize..=4,
+        t_r in 0usize..=4,
+        adversary in arb_adversary(),
+        seed in 0u64..1_000,
+    ) {
+        prop_assume!(t_l <= k && t_r <= k);
+        let setting = Setting::new(k, topology, auth, t_l, t_r).unwrap();
+        prop_assume!(is_solvable(&setting));
+        // Corrupt the full budget, highest indices first.
+        let left: Vec<u32> = (0..k as u32).rev().take(t_l).collect();
+        let right: Vec<u32> = (0..k as u32).rev().take(t_r).collect();
+        let scenario = Scenario::builder(setting)
+            .seed(seed)
+            .corrupt_left(left)
+            .corrupt_right(right)
+            .adversary(adversary)
+            .build()
+            .expect("within budget");
+        let outcome = scenario.run().expect("solvable setting runs");
+        prop_assert!(outcome.all_honest_decided, "{setting}: termination failed");
+        prop_assert!(
+            outcome.violations.is_empty(),
+            "{setting} {adversary:?}: {:?}",
+            outcome.violations
+        );
+    }
+
+    /// The decision procedure agrees with a direct encoding of the theorem statements.
+    #[test]
+    fn characterization_matches_theorem_statements(
+        k in 1usize..=12,
+        topology in arb_topology(),
+        auth in arb_auth(),
+        t_l in 0usize..=12,
+        t_r in 0usize..=12,
+    ) {
+        prop_assume!(t_l <= k && t_r <= k);
+        let setting = Setting::new(k, topology, auth, t_l, t_r).unwrap();
+        let below_third = |t: usize| 3 * t < k;
+        let below_half = |t: usize| 2 * t < k;
+        let expected = match (auth, topology) {
+            (AuthMode::Unauthenticated, Topology::FullyConnected) => {
+                below_third(t_l) || below_third(t_r)
+            }
+            (AuthMode::Unauthenticated, Topology::Bipartite) => {
+                below_half(t_l) && below_half(t_r) && (below_third(t_l) || below_third(t_r))
+            }
+            (AuthMode::Unauthenticated, Topology::OneSided) => {
+                below_half(t_r) && (below_third(t_l) || below_third(t_r))
+            }
+            (AuthMode::Authenticated, Topology::FullyConnected) => true,
+            (AuthMode::Authenticated, Topology::Bipartite) => {
+                (t_l < k && t_r < k) || below_third(t_l) || below_third(t_r)
+            }
+            (AuthMode::Authenticated, Topology::OneSided) => t_r < k || below_third(t_l),
+        };
+        match characterize(&setting) {
+            Solvability::Solvable(_) => prop_assert!(expected, "{setting} should be unsolvable"),
+            Solvability::Unsolvable(imp) => {
+                prop_assert!(!expected, "{setting} should be solvable, got {imp}");
+            }
+        }
+    }
+}

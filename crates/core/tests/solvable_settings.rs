@@ -1,0 +1,140 @@
+//! The constructive direction of the characterization (experiment E1, positive cells):
+//! for solvable settings at their corruption boundary, every adversary in the strategy
+//! library leaves all four bSM properties intact.
+
+use bsm_core::harness::{AdversarySpec, Scenario};
+use bsm_core::problem::{AuthMode, Setting};
+use bsm_core::solvability::{characterize, Solvability};
+use bsm_net::{PartyId, Topology};
+
+/// Largest corrupted sets allowed by the setting (greedily corrupt the highest indices,
+/// so the committee prefix of every side stays honest-heavy).
+fn max_corruption(setting: &Setting) -> (Vec<u32>, Vec<u32>) {
+    let k = setting.k() as u32;
+    let left: Vec<u32> = (0..k).rev().take(setting.t_l()).collect();
+    let right: Vec<u32> = (0..k).rev().take(setting.t_r()).collect();
+    (left, right)
+}
+
+fn assert_clean(setting: Setting, adversary: AdversarySpec, seed: u64) {
+    let (left, right) = max_corruption(&setting);
+    let scenario = Scenario::builder(setting)
+        .seed(seed)
+        .corrupt_left(left)
+        .corrupt_right(right)
+        .adversary(adversary)
+        .build()
+        .expect("scenario within budget");
+    let outcome = scenario.run().expect("solvable setting runs");
+    assert!(
+        outcome.all_honest_decided,
+        "{setting} with {adversary:?}: some honest party did not terminate"
+    );
+    assert!(
+        outcome.violations.is_empty(),
+        "{setting} with {adversary:?}: violations {:?}",
+        outcome.violations
+    );
+}
+
+/// Boundary settings for every topology/auth combination, at small market sizes.
+fn boundary_settings() -> Vec<Setting> {
+    let mut settings = Vec::new();
+    let mut push = |k, topo, auth, t_l, t_r| {
+        let setting = Setting::new(k, topo, auth, t_l, t_r).unwrap();
+        assert!(
+            matches!(characterize(&setting), Solvability::Solvable(_)),
+            "intended boundary setting {setting} is not solvable"
+        );
+        settings.push(setting);
+    };
+    use AuthMode::{Authenticated, Unauthenticated};
+    use Topology::{Bipartite, FullyConnected, OneSided};
+
+    // Theorem 2 boundary: one side below k/3, the other side arbitrary.
+    push(4, FullyConnected, Unauthenticated, 1, 4);
+    push(3, FullyConnected, Unauthenticated, 0, 2);
+    // Theorem 3 boundary: both below k/2, one below k/3.
+    push(4, Bipartite, Unauthenticated, 1, 1);
+    push(5, Bipartite, Unauthenticated, 1, 2);
+    // Theorem 4 boundary: tR below k/2, tL arbitrary when tR < k/3.
+    push(4, OneSided, Unauthenticated, 1, 1);
+    push(5, OneSided, Unauthenticated, 5, 1);
+    // Theorem 5: anything goes in the authenticated full mesh.
+    push(3, FullyConnected, Authenticated, 3, 3);
+    push(4, FullyConnected, Authenticated, 2, 4);
+    // Theorem 6: both sides keep one honest party, or one side below k/3.
+    push(3, Bipartite, Authenticated, 2, 2);
+    push(4, Bipartite, Authenticated, 1, 4);
+    // Theorem 7: tR < k, or tL < k/3 with a fully byzantine right side.
+    push(3, OneSided, Authenticated, 3, 2);
+    push(4, OneSided, Authenticated, 1, 4);
+    settings
+}
+
+#[test]
+fn crash_faults_leave_all_properties_intact() {
+    for (i, setting) in boundary_settings().into_iter().enumerate() {
+        assert_clean(setting, AdversarySpec::Crash, 100 + i as u64);
+    }
+}
+
+#[test]
+fn preference_lying_leaves_all_properties_intact() {
+    for (i, setting) in boundary_settings().into_iter().enumerate() {
+        assert_clean(setting, AdversarySpec::Lying, 200 + i as u64);
+    }
+}
+
+#[test]
+fn garbage_flooding_leaves_all_properties_intact() {
+    for (i, setting) in boundary_settings().into_iter().enumerate() {
+        assert_clean(setting, AdversarySpec::Garbage, 300 + i as u64);
+    }
+}
+
+#[test]
+fn fully_byzantine_right_side_lets_the_left_side_decide_consistently() {
+    // Theorem 6/7 constructive corner case: the whole right side is byzantine; honest
+    // left parties may match or output nobody, but never violate a property.
+    for topology in [Topology::OneSided, Topology::Bipartite] {
+        for adversary in [AdversarySpec::Crash, AdversarySpec::Lying, AdversarySpec::Garbage] {
+            let setting = Setting::new(4, topology, AuthMode::Authenticated, 1, 4).unwrap();
+            let scenario = Scenario::builder(setting)
+                .seed(7)
+                .corrupt_left([3])
+                .corrupt_right([0, 1, 2, 3])
+                .adversary(adversary)
+                .build()
+                .unwrap();
+            let outcome = scenario.run().expect("solvable setting runs");
+            assert!(outcome.all_honest_decided);
+            assert!(
+                outcome.violations.is_empty(),
+                "{topology} {adversary:?}: {:?}",
+                outcome.violations
+            );
+            // All outputs are decisions of honest left parties.
+            for party in outcome.outputs.keys() {
+                assert_eq!(party.side, bsm_net::Side::Left);
+                assert_ne!(*party, PartyId::left(3));
+            }
+        }
+    }
+}
+
+#[test]
+fn fault_free_runs_reach_a_perfect_stable_matching_everywhere() {
+    // With no corruptions at all, every topology/auth combination produces the full
+    // Gale–Shapley matching.
+    for &topology in &Topology::ALL {
+        for &auth in &AuthMode::ALL {
+            let setting = Setting::new(3, topology, auth, 0, 0).unwrap();
+            let scenario = Scenario::builder(setting).seed(11).build().unwrap();
+            let outcome = scenario.run().expect("fault-free settings are always solvable");
+            assert!(outcome.violations.is_empty());
+            assert_eq!(outcome.outputs.len(), 6, "{topology} {auth}");
+            assert!(outcome.outputs.values().all(|d| d.is_some()));
+        }
+    }
+}

@@ -1,0 +1,101 @@
+use std::fmt;
+
+/// Errors produced when constructing or validating preference data and matchings.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MatchingError {
+    /// The two sides of a preference profile have different sizes.
+    SideSizeMismatch {
+        /// Number of agents on the left side.
+        left: usize,
+        /// Number of agents on the right side.
+        right: usize,
+    },
+    /// A preference list is not a permutation of `0..k`.
+    NotAPermutation {
+        /// Side of the offending agent.
+        side: &'static str,
+        /// Index of the offending agent within its side.
+        agent: usize,
+    },
+    /// A preference list has the wrong length.
+    WrongListLength {
+        /// Side of the offending agent.
+        side: &'static str,
+        /// Index of the offending agent within its side.
+        agent: usize,
+        /// Length found.
+        found: usize,
+        /// Length expected (`k`).
+        expected: usize,
+    },
+    /// An agent index is out of bounds for the market size.
+    AgentOutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The market size `k`.
+        k: usize,
+    },
+    /// A matching maps two distinct agents to the same partner.
+    DuplicatePartner {
+        /// The partner that was claimed twice.
+        partner: usize,
+    },
+    /// The market is empty (`k == 0`), which is not a meaningful instance.
+    EmptyMarket,
+}
+
+impl fmt::Display for MatchingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatchingError::SideSizeMismatch { left, right } => {
+                write!(f, "sides have different sizes: left {left}, right {right}")
+            }
+            MatchingError::NotAPermutation { side, agent } => {
+                write!(f, "preference list of {side} agent {agent} is not a permutation")
+            }
+            MatchingError::WrongListLength { side, agent, found, expected } => write!(
+                f,
+                "preference list of {side} agent {agent} has length {found}, expected {expected}"
+            ),
+            MatchingError::AgentOutOfBounds { index, k } => {
+                write!(f, "agent index {index} out of bounds for market size {k}")
+            }
+            MatchingError::DuplicatePartner { partner } => {
+                write!(f, "matching assigns partner {partner} to more than one agent")
+            }
+            MatchingError::EmptyMarket => write!(f, "market size k must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for MatchingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            MatchingError::SideSizeMismatch { left: 1, right: 2 },
+            MatchingError::NotAPermutation { side: "left", agent: 0 },
+            MatchingError::WrongListLength { side: "right", agent: 1, found: 2, expected: 3 },
+            MatchingError::AgentOutOfBounds { index: 9, k: 3 },
+            MatchingError::DuplicatePartner { partner: 2 },
+            MatchingError::EmptyMarket,
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MatchingError>();
+    }
+}

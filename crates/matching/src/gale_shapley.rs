@@ -1,0 +1,267 @@
+//! The deterministic Gale–Shapley deferred-acceptance algorithm `AG-S` (Theorem 1).
+//!
+//! The algorithm runs in `O(k²)` proposals and always returns a perfect stable
+//! matching. It is *proposer-optimal*: every proposing-side agent receives its best
+//! achievable partner over all stable matchings, and it is truthful for the proposing
+//! side (Gale–Shapley 1962; discussed in the paper's related-work section).
+
+use crate::{Matching, PreferenceProfile, Side};
+use std::collections::VecDeque;
+
+/// Which side issues proposals in the deferred-acceptance run.
+///
+/// The distributed protocols in the paper fix the proposing side globally (all honest
+/// parties must run the *same* deterministic `AG-S`), so the choice is part of the
+/// protocol description rather than a per-party knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProposingSide {
+    /// Left agents propose (the canonical choice used by the protocols in this repo).
+    #[default]
+    Left,
+    /// Right agents propose.
+    Right,
+}
+
+impl From<ProposingSide> for Side {
+    fn from(value: ProposingSide) -> Side {
+        match value {
+            ProposingSide::Left => Side::Left,
+            ProposingSide::Right => Side::Right,
+        }
+    }
+}
+
+/// The result of a Gale–Shapley run: the stable matching plus execution statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaleShapleyOutcome {
+    /// The computed stable matching (always perfect).
+    pub matching: Matching,
+    /// Total number of proposals issued.
+    pub proposals: usize,
+    /// Number of rejections (a proposal that displaced or failed against a better one).
+    pub rejections: usize,
+    /// Number of "divorce" events where an already-matched receiver traded up.
+    pub divorces: usize,
+}
+
+/// Runs the Gale–Shapley algorithm on `profile` with the given proposing side.
+///
+/// This is the algorithm `AG-S` used by every constructive protocol in the paper
+/// (Lemma 1, `ΠbSM`): it is deterministic, so any two honest parties running it on the
+/// same profile obtain the same matching.
+///
+/// # Example
+///
+/// ```rust
+/// use bsm_matching::gale_shapley::{gale_shapley, ProposingSide};
+/// use bsm_matching::PreferenceProfile;
+///
+/// # fn main() -> Result<(), bsm_matching::MatchingError> {
+/// let profile = PreferenceProfile::identity(5)?;
+/// let outcome = gale_shapley(&profile, ProposingSide::Left);
+/// assert!(outcome.matching.is_perfect());
+/// assert!(outcome.matching.is_stable(&profile));
+/// # Ok(())
+/// # }
+/// ```
+pub fn gale_shapley(profile: &PreferenceProfile, proposing: ProposingSide) -> GaleShapleyOutcome {
+    match proposing {
+        ProposingSide::Left => run(profile, |p, i| p.left(i), |p, j| p.right(j), false),
+        ProposingSide::Right => run(profile, |p, j| p.right(j), |p, i| p.left(i), true),
+    }
+}
+
+/// Runs Gale–Shapley with left agents proposing; shorthand used by the protocol crates.
+pub fn gale_shapley_left(profile: &PreferenceProfile) -> Matching {
+    gale_shapley(profile, ProposingSide::Left).matching
+}
+
+fn run(
+    profile: &PreferenceProfile,
+    proposer_list: impl Fn(&PreferenceProfile, usize) -> &crate::PreferenceList,
+    receiver_list: impl Fn(&PreferenceProfile, usize) -> &crate::PreferenceList,
+    swapped: bool,
+) -> GaleShapleyOutcome {
+    let k = profile.k();
+    // next_proposal[i] = rank of the partner proposer i will propose to next.
+    let mut next_proposal = vec![0usize; k];
+    // receiver_partner[j] = proposer currently held by receiver j.
+    let mut receiver_partner: Vec<Option<usize>> = vec![None; k];
+    let mut free: VecDeque<usize> = (0..k).collect();
+
+    let mut proposals = 0usize;
+    let mut rejections = 0usize;
+    let mut divorces = 0usize;
+
+    while let Some(proposer) = free.pop_front() {
+        let rank = next_proposal[proposer];
+        debug_assert!(rank < k, "a proposer exhausted its complete list without matching");
+        let target = proposer_list(profile, proposer)
+            .partner_at(rank)
+            .expect("rank is within the complete list");
+        next_proposal[proposer] = rank + 1;
+        proposals += 1;
+
+        match receiver_partner[target] {
+            None => {
+                receiver_partner[target] = Some(proposer);
+            }
+            Some(current) => {
+                if receiver_list(profile, target).prefers(proposer, current) {
+                    receiver_partner[target] = Some(proposer);
+                    free.push_back(current);
+                    rejections += 1;
+                    divorces += 1;
+                } else {
+                    free.push_back(proposer);
+                    rejections += 1;
+                }
+            }
+        }
+    }
+
+    let mut assignment = vec![None; k];
+    for (receiver, proposer) in receiver_partner.iter().enumerate() {
+        let proposer = proposer.expect("every receiver is matched at termination");
+        if swapped {
+            // proposer is a right agent, receiver is a left agent.
+            assignment[receiver] = Some(proposer);
+        } else {
+            assignment[proposer] = Some(receiver);
+        }
+    }
+    let matching = Matching::from_left_assignment(&assignment)
+        .expect("Gale-Shapley produces a valid perfect matching");
+
+    GaleShapleyOutcome { matching, proposals, rejections, divorces }
+}
+
+/// Returns `true` if `matching` is the proposer-optimal stable matching for `profile`.
+///
+/// Used in tests to check the classical optimality property: the proposing side's
+/// partner in `matching` is at least as good (by that agent's own list) as in any other
+/// stable matching. The check brute-forces all stable matchings, so it is limited to
+/// small `k`.
+///
+/// # Panics
+///
+/// Panics if `profile.k() > 10` (inherited from the brute-force enumeration guard).
+pub fn is_proposer_optimal(
+    profile: &PreferenceProfile,
+    matching: &Matching,
+    proposing: ProposingSide,
+) -> bool {
+    let all = crate::matching::enumerate_stable_matchings(profile);
+    let k = profile.k();
+    for other in &all {
+        for agent in 0..k {
+            let (mine, theirs, list) = match proposing {
+                ProposingSide::Left => {
+                    (matching.right_of(agent), other.right_of(agent), profile.left(agent))
+                }
+                ProposingSide::Right => {
+                    (matching.left_of(agent), other.left_of(agent), profile.right(agent))
+                }
+            };
+            let (mine, theirs) = match (mine, theirs) {
+                (Some(m), Some(t)) => (m, t),
+                _ => return false,
+            };
+            if mine != theirs && list.prefers(theirs, mine) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::uniform_profile;
+    use crate::matching::enumerate_stable_matchings;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn textbook_instance_left_proposing() {
+        // Gusfield-Irving style 4x4 instance.
+        let profile = PreferenceProfile::from_rows(
+            vec![
+                vec![0, 1, 2, 3],
+                vec![1, 0, 3, 2],
+                vec![2, 3, 0, 1],
+                vec![3, 2, 1, 0],
+            ],
+            vec![
+                vec![3, 2, 1, 0],
+                vec![2, 3, 0, 1],
+                vec![1, 0, 3, 2],
+                vec![0, 1, 2, 3],
+            ],
+        )
+        .unwrap();
+        let outcome = gale_shapley(&profile, ProposingSide::Left);
+        assert!(outcome.matching.is_perfect());
+        assert!(outcome.matching.is_stable(&profile));
+        assert!(is_proposer_optimal(&profile, &outcome.matching, ProposingSide::Left));
+    }
+
+    #[test]
+    fn right_proposing_is_right_optimal() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let profile = uniform_profile(5, &mut rng);
+            let outcome = gale_shapley(&profile, ProposingSide::Right);
+            assert!(outcome.matching.is_stable(&profile));
+            assert!(is_proposer_optimal(&profile, &outcome.matching, ProposingSide::Right));
+        }
+    }
+
+    #[test]
+    fn proposal_count_is_bounded_by_k_squared() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for k in [1usize, 2, 3, 5, 8, 13] {
+            let profile = uniform_profile(k, &mut rng);
+            let outcome = gale_shapley(&profile, ProposingSide::Left);
+            assert!(outcome.proposals >= k);
+            assert!(outcome.proposals <= k * k);
+            assert_eq!(outcome.rejections, outcome.proposals - k);
+        }
+    }
+
+    #[test]
+    fn single_agent_market() {
+        let profile = PreferenceProfile::identity(1).unwrap();
+        let outcome = gale_shapley(&profile, ProposingSide::Left);
+        assert_eq!(outcome.proposals, 1);
+        assert_eq!(outcome.matching.right_of(0), Some(0));
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let profile = uniform_profile(8, &mut rng);
+        let a = gale_shapley(&profile, ProposingSide::Left);
+        let b = gale_shapley(&profile, ProposingSide::Left);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn outcome_is_a_known_stable_matching() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let profile = uniform_profile(4, &mut rng);
+            let all = enumerate_stable_matchings(&profile);
+            let outcome = gale_shapley(&profile, ProposingSide::Left);
+            assert!(all.contains(&outcome.matching));
+        }
+    }
+
+    #[test]
+    fn proposing_side_conversion() {
+        assert_eq!(Side::from(ProposingSide::Left), Side::Left);
+        assert_eq!(Side::from(ProposingSide::Right), Side::Right);
+        assert_eq!(ProposingSide::default(), ProposingSide::Left);
+    }
+}

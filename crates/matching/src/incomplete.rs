@@ -1,0 +1,379 @@
+//! Stable matching with incomplete preference lists (unacceptable partners).
+//!
+//! The paper's model assumes complete lists, but its introduction points to the
+//! Gusfield–Irving variants where "individuals only provide partial preferences …
+//! although some individuals may not be matched". This module provides that variant:
+//! each agent ranks only the partners it finds acceptable, deferred acceptance still
+//! produces a stable matching, and the set of matched agents is the same in every
+//! stable matching (the Rural Hospitals theorem, used here only as a test oracle).
+//!
+//! The byzantine harness also uses incomplete lists to give honest parties an explicit
+//! way to mark byzantine counterparties as unacceptable.
+
+use crate::{Matching, MatchingError, Result};
+
+/// A preference list over an arbitrary *subset* of the `k` opposite-side agents.
+///
+/// Partners missing from the list are unacceptable: the agent prefers staying unmatched
+/// over being matched to them.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IncompleteList {
+    k: usize,
+    order: Vec<usize>,
+    rank: Vec<Option<usize>>,
+}
+
+impl IncompleteList {
+    /// Builds an incomplete list over a market of size `k` from a ranking of acceptable
+    /// partners (most preferred first).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchingError::AgentOutOfBounds`] if an entry is `>= k` and
+    /// [`MatchingError::DuplicatePartner`] if a partner appears twice.
+    pub fn new(k: usize, order: Vec<usize>) -> Result<Self> {
+        let mut rank = vec![None; k];
+        for (pos, &p) in order.iter().enumerate() {
+            if p >= k {
+                return Err(MatchingError::AgentOutOfBounds { index: p, k });
+            }
+            if rank[p].is_some() {
+                return Err(MatchingError::DuplicatePartner { partner: p });
+            }
+            rank[p] = Some(pos);
+        }
+        Ok(Self { k, order, rank })
+    }
+
+    /// An empty list: every partner is unacceptable.
+    pub fn unacceptable_all(k: usize) -> Self {
+        Self { k, order: Vec::new(), rank: vec![None; k] }
+    }
+
+    /// The market size this list was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of acceptable partners.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Returns `true` if no partner is acceptable.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Returns `true` if `partner` is acceptable.
+    pub fn accepts(&self, partner: usize) -> bool {
+        self.rank.get(partner).copied().flatten().is_some()
+    }
+
+    /// The acceptable partner at `position` (0 = most preferred).
+    pub fn partner_at(&self, position: usize) -> Option<usize> {
+        self.order.get(position).copied()
+    }
+
+    /// Rank of `partner`, or `None` if unacceptable / out of bounds.
+    pub fn rank_of(&self, partner: usize) -> Option<usize> {
+        self.rank.get(partner).copied().flatten()
+    }
+
+    /// Returns `true` if `a` is acceptable and preferred over `b`.
+    ///
+    /// An unacceptable `a` is never preferred; an unacceptable `b` is worse than any
+    /// acceptable `a` (staying unmatched is better than an unacceptable partner).
+    pub fn prefers(&self, a: usize, b: usize) -> bool {
+        match (self.rank_of(a), self.rank_of(b)) {
+            (Some(ra), Some(rb)) => ra < rb,
+            (Some(_), None) => true,
+            (None, _) => false,
+        }
+    }
+
+    /// Iterates over acceptable partners from most to least preferred.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.order.iter().copied()
+    }
+}
+
+/// Preference profile with incomplete lists on both sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct IncompleteProfile {
+    left: Vec<IncompleteList>,
+    right: Vec<IncompleteList>,
+}
+
+impl IncompleteProfile {
+    /// Builds a profile from per-agent incomplete lists.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatchingError::SideSizeMismatch`] or [`MatchingError::EmptyMarket`] if
+    /// the sides are inconsistent, and [`MatchingError::WrongListLength`] if a list was
+    /// built for the wrong market size.
+    pub fn new(left: Vec<IncompleteList>, right: Vec<IncompleteList>) -> Result<Self> {
+        if left.len() != right.len() {
+            return Err(MatchingError::SideSizeMismatch { left: left.len(), right: right.len() });
+        }
+        if left.is_empty() {
+            return Err(MatchingError::EmptyMarket);
+        }
+        let k = left.len();
+        for (agent, list) in left.iter().enumerate() {
+            if list.k() != k {
+                return Err(MatchingError::WrongListLength {
+                    side: "left",
+                    agent,
+                    found: list.k(),
+                    expected: k,
+                });
+            }
+        }
+        for (agent, list) in right.iter().enumerate() {
+            if list.k() != k {
+                return Err(MatchingError::WrongListLength {
+                    side: "right",
+                    agent,
+                    found: list.k(),
+                    expected: k,
+                });
+            }
+        }
+        Ok(Self { left, right })
+    }
+
+    /// Market size `k`.
+    pub fn k(&self) -> usize {
+        self.left.len()
+    }
+
+    /// Incomplete list of left agent `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn left(&self, i: usize) -> &IncompleteList {
+        &self.left[i]
+    }
+
+    /// Incomplete list of right agent `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= k`.
+    pub fn right(&self, j: usize) -> &IncompleteList {
+        &self.right[j]
+    }
+}
+
+/// Runs left-proposing deferred acceptance with incomplete lists.
+///
+/// The resulting matching is individually rational (nobody is matched to an
+/// unacceptable partner) and has no blocking pair among mutually acceptable pairs. Some
+/// agents may stay unmatched.
+pub fn gale_shapley_incomplete(profile: &IncompleteProfile) -> Matching {
+    let k = profile.k();
+    let mut next = vec![0usize; k];
+    let mut held: Vec<Option<usize>> = vec![None; k];
+    let mut free: Vec<usize> = (0..k).rev().collect();
+
+    while let Some(proposer) = free.pop() {
+        loop {
+            let Some(target) = profile.left(proposer).partner_at(next[proposer]) else {
+                // Exhausted the acceptable list: stays unmatched.
+                break;
+            };
+            next[proposer] += 1;
+            if !profile.right(target).accepts(proposer) {
+                continue;
+            }
+            match held[target] {
+                None => {
+                    held[target] = Some(proposer);
+                    break;
+                }
+                Some(current) => {
+                    if profile.right(target).prefers(proposer, current) {
+                        held[target] = Some(proposer);
+                        free.push(current);
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    let mut assignment = vec![None; k];
+    for (right, left) in held.iter().enumerate() {
+        if let Some(left) = left {
+            assignment[*left] = Some(right);
+        }
+    }
+    Matching::from_left_assignment(&assignment).expect("deferred acceptance yields a matching")
+}
+
+/// Finds the blocking pairs of a matching under incomplete lists.
+///
+/// A pair `(u, v)` blocks iff both find each other acceptable, and each is either
+/// unmatched or prefers the other over its current partner. Unlike the complete-list
+/// case, two unmatched agents only block if they are mutually acceptable.
+pub fn blocking_pairs_incomplete(
+    profile: &IncompleteProfile,
+    matching: &Matching,
+) -> Vec<crate::BlockingPair> {
+    let k = profile.k();
+    let mut blocking = Vec::new();
+    for u in 0..k {
+        for v in 0..k {
+            if matching.right_of(u) == Some(v) {
+                continue;
+            }
+            if !profile.left(u).accepts(v) || !profile.right(v).accepts(u) {
+                continue;
+            }
+            let u_wants = match matching.right_of(u) {
+                None => true,
+                Some(current) => profile.left(u).prefers(v, current),
+            };
+            let v_wants = match matching.left_of(v) {
+                None => true,
+                Some(current) => profile.right(v).prefers(u, current),
+            };
+            if u_wants && v_wants {
+                blocking.push(crate::BlockingPair { left: u, right: v });
+            }
+        }
+    }
+    blocking
+}
+
+/// Returns `true` if `matching` is individually rational and has no blocking pair.
+pub fn is_stable_incomplete(profile: &IncompleteProfile, matching: &Matching) -> bool {
+    for (i, j) in matching.pairs() {
+        if !profile.left(i).accepts(j) || !profile.right(j).accepts(i) {
+            return false;
+        }
+    }
+    blocking_pairs_incomplete(profile, matching).is_empty()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list(k: usize, order: &[usize]) -> IncompleteList {
+        IncompleteList::new(k, order.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn list_validation_and_queries() {
+        assert!(IncompleteList::new(3, vec![0, 0]).is_err());
+        assert!(IncompleteList::new(3, vec![3]).is_err());
+        let l = list(4, &[2, 0]);
+        assert!(l.accepts(2));
+        assert!(!l.accepts(1));
+        assert_eq!(l.rank_of(0), Some(1));
+        assert_eq!(l.rank_of(3), None);
+        assert!(l.prefers(2, 0));
+        assert!(l.prefers(0, 1));
+        assert!(!l.prefers(1, 0));
+        assert_eq!(l.len(), 2);
+        assert!(!l.is_empty());
+        assert_eq!(l.iter().collect::<Vec<_>>(), vec![2, 0]);
+        assert!(IncompleteList::unacceptable_all(3).is_empty());
+    }
+
+    #[test]
+    fn profile_validation() {
+        let ok = IncompleteProfile::new(vec![list(2, &[0]), list(2, &[1])], vec![list(2, &[0]), list(2, &[1])]);
+        assert!(ok.is_ok());
+        let mismatch = IncompleteProfile::new(vec![list(2, &[0])], vec![list(2, &[0]), list(2, &[1])]);
+        assert!(mismatch.is_err());
+        let wrong_k = IncompleteProfile::new(vec![list(3, &[0]), list(2, &[1])], vec![list(2, &[0]), list(2, &[1])]);
+        assert!(wrong_k.is_err());
+        assert!(IncompleteProfile::new(vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn all_unacceptable_leaves_everyone_unmatched() {
+        let profile = IncompleteProfile::new(
+            vec![IncompleteList::unacceptable_all(2); 2],
+            vec![IncompleteList::unacceptable_all(2); 2],
+        )
+        .unwrap();
+        let m = gale_shapley_incomplete(&profile);
+        assert_eq!(m.matched_pairs(), 0);
+        assert!(is_stable_incomplete(&profile, &m));
+    }
+
+    #[test]
+    fn one_sided_acceptability_does_not_match() {
+        // Left 0 accepts right 0, but right 0 rejects everyone.
+        let profile = IncompleteProfile::new(
+            vec![list(1, &[0])],
+            vec![IncompleteList::unacceptable_all(1)],
+        )
+        .unwrap();
+        let m = gale_shapley_incomplete(&profile);
+        assert_eq!(m.matched_pairs(), 0);
+        assert!(is_stable_incomplete(&profile, &m));
+    }
+
+    #[test]
+    fn complete_lists_reduce_to_classic_behaviour() {
+        let profile = IncompleteProfile::new(
+            vec![list(3, &[0, 1, 2]), list(3, &[0, 1, 2]), list(3, &[0, 1, 2])],
+            vec![list(3, &[2, 1, 0]), list(3, &[2, 1, 0]), list(3, &[2, 1, 0])],
+        )
+        .unwrap();
+        let m = gale_shapley_incomplete(&profile);
+        assert!(m.is_perfect());
+        assert!(is_stable_incomplete(&profile, &m));
+        // Right agents all prefer left 2, so left 2 gets right 0 (its favorite).
+        assert_eq!(m.right_of(2), Some(0));
+    }
+
+    #[test]
+    fn partial_instance_matches_only_mutually_acceptable() {
+        let profile = IncompleteProfile::new(
+            vec![list(3, &[1]), list(3, &[1, 0]), list(3, &[2, 0])],
+            vec![list(3, &[1]), list(3, &[0, 1]), list(3, &[2])],
+        )
+        .unwrap();
+        let m = gale_shapley_incomplete(&profile);
+        assert!(is_stable_incomplete(&profile, &m));
+        // Left 0 wants right 1 but right 1 prefers left 0 over left 1: they match.
+        assert_eq!(m.right_of(0), Some(1));
+        // Left 2 and right 2 are mutually acceptable and otherwise free: they match.
+        assert_eq!(m.right_of(2), Some(2));
+    }
+
+    #[test]
+    fn unstable_matching_is_detected() {
+        let profile = IncompleteProfile::new(
+            vec![list(2, &[0, 1]), list(2, &[0, 1])],
+            vec![list(2, &[0, 1]), list(2, &[0, 1])],
+        )
+        .unwrap();
+        // Matching left 0 with right 1 and left 1 with right 0 is blocked by (0, 0).
+        let m = Matching::from_left_assignment(&[Some(1), Some(0)]).unwrap();
+        assert!(!is_stable_incomplete(&profile, &m));
+        let blocking = blocking_pairs_incomplete(&profile, &m);
+        assert!(blocking.contains(&crate::BlockingPair { left: 0, right: 0 }));
+    }
+
+    #[test]
+    fn matched_to_unacceptable_partner_is_unstable() {
+        let profile = IncompleteProfile::new(
+            vec![list(1, &[])],
+            vec![list(1, &[0])],
+        )
+        .unwrap();
+        let m = Matching::from_left_assignment(&[Some(0)]).unwrap();
+        assert!(!is_stable_incomplete(&profile, &m));
+    }
+}

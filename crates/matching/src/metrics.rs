@@ -1,0 +1,150 @@
+//! Matching quality metrics.
+//!
+//! The experiment harness reports not only whether a matching is stable but also how
+//! good it is for each side: the classical egalitarian / regret measures from the stable
+//! matching literature (Gusfield–Irving), plus the number of blocking pairs for
+//! almost-stable matchings (the approximation notion of Ostrovsky–Rosenbaum cited in the
+//! paper's related work).
+
+use crate::{Matching, PreferenceProfile, Side};
+
+/// Summary statistics of a (possibly partial) matching under a preference profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingQuality {
+    /// Number of matched pairs.
+    pub matched_pairs: usize,
+    /// Number of blocking pairs (0 iff the matching is stable).
+    pub blocking_pairs: usize,
+    /// Sum over matched left agents of the rank of their partner (0 = favorite).
+    pub left_cost: usize,
+    /// Sum over matched right agents of the rank of their partner.
+    pub right_cost: usize,
+    /// The worst (largest) partner rank over all matched agents — the "regret".
+    pub regret: usize,
+}
+
+impl MatchingQuality {
+    /// The egalitarian cost: the sum of both sides' costs.
+    pub fn egalitarian_cost(&self) -> usize {
+        self.left_cost + self.right_cost
+    }
+
+    /// Returns `true` if the matching had no blocking pair.
+    pub fn is_stable(&self) -> bool {
+        self.blocking_pairs == 0
+    }
+}
+
+/// Computes the quality statistics of `matching` under `profile`.
+///
+/// # Panics
+///
+/// Panics if the matching and profile sizes differ.
+pub fn evaluate(profile: &PreferenceProfile, matching: &Matching) -> MatchingQuality {
+    assert_eq!(profile.k(), matching.k(), "matching and profile must have the same size");
+    let mut left_cost = 0usize;
+    let mut right_cost = 0usize;
+    let mut regret = 0usize;
+    for (left, right) in matching.pairs() {
+        let left_rank = profile.left(left).rank_of(right).expect("partner index in range");
+        let right_rank = profile.right(right).rank_of(left).expect("partner index in range");
+        left_cost += left_rank;
+        right_cost += right_rank;
+        regret = regret.max(left_rank).max(right_rank);
+    }
+    MatchingQuality {
+        matched_pairs: matching.matched_pairs(),
+        blocking_pairs: matching.blocking_pairs(profile).len(),
+        left_cost,
+        right_cost,
+        regret,
+    }
+}
+
+/// The rank each agent of `side` assigns to its partner, `None` for unmatched agents.
+pub fn partner_ranks(profile: &PreferenceProfile, matching: &Matching, side: Side) -> Vec<Option<usize>> {
+    let k = profile.k();
+    (0..k)
+        .map(|i| match side {
+            Side::Left => matching
+                .right_of(i)
+                .map(|j| profile.left(i).rank_of(j).expect("partner index in range")),
+            Side::Right => matching
+                .left_of(i)
+                .map(|j| profile.right(i).rank_of(j).expect("partner index in range")),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gale_shapley::{gale_shapley, ProposingSide};
+    use crate::generators::uniform_profile;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn identity_matching_under_mutual_favorites_is_optimal() {
+        // Left i and right i rank each other first, so the identity matching gives every
+        // agent its favorite.
+        let lists: Vec<_> = (0..4)
+            .map(|i| crate::PreferenceList::favorite_first(4, i).unwrap())
+            .collect();
+        let profile = PreferenceProfile::new(lists.clone(), lists).unwrap();
+        let matching = Matching::identity(4).unwrap();
+        let quality = evaluate(&profile, &matching);
+        assert_eq!(quality.matched_pairs, 4);
+        assert_eq!(quality.blocking_pairs, 0);
+        assert!(quality.is_stable());
+        assert_eq!(quality.left_cost, 0);
+        assert_eq!(quality.right_cost, 0);
+        assert_eq!(quality.egalitarian_cost(), 0);
+        assert_eq!(quality.regret, 0);
+        assert_eq!(partner_ranks(&profile, &matching, Side::Left), vec![Some(0); 4]);
+        assert_eq!(partner_ranks(&profile, &matching, Side::Right), vec![Some(0); 4]);
+    }
+
+    #[test]
+    fn proposing_side_has_lower_or_equal_cost() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..20 {
+            let profile = uniform_profile(6, &mut rng);
+            let left_opt = gale_shapley(&profile, ProposingSide::Left).matching;
+            let right_opt = gale_shapley(&profile, ProposingSide::Right).matching;
+            let q_left = evaluate(&profile, &left_opt);
+            let q_right = evaluate(&profile, &right_opt);
+            // Left-proposing is left-optimal: its left cost never exceeds the
+            // right-proposing run's left cost (and symmetrically).
+            assert!(q_left.left_cost <= q_right.left_cost);
+            assert!(q_right.right_cost <= q_left.right_cost);
+            assert!(q_left.is_stable() && q_right.is_stable());
+        }
+    }
+
+    #[test]
+    fn partial_matchings_are_measured() {
+        let profile = PreferenceProfile::identity(3).unwrap();
+        let mut matching = Matching::empty(3).unwrap();
+        matching.join(0, 1).unwrap();
+        let quality = evaluate(&profile, &matching);
+        assert_eq!(quality.matched_pairs, 1);
+        assert!(quality.blocking_pairs > 0);
+        assert!(!quality.is_stable());
+        // L0's partner R1 is L0's second choice; R1's partner L0 is R1's first choice.
+        assert_eq!(quality.left_cost, 1);
+        assert_eq!(quality.right_cost, 0);
+        assert_eq!(quality.egalitarian_cost(), 1);
+        assert_eq!(quality.regret, 1);
+        let ranks = partner_ranks(&profile, &matching, Side::Left);
+        assert_eq!(ranks, vec![Some(1), None, None]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same size")]
+    fn size_mismatch_panics() {
+        let profile = PreferenceProfile::identity(3).unwrap();
+        let matching = Matching::identity(2).unwrap();
+        let _ = evaluate(&profile, &matching);
+    }
+}

@@ -1,0 +1,423 @@
+//! The stable roommates problem (Irving's algorithm).
+//!
+//! The paper's conclusion (§6) names the stable roommates problem — one set of agents
+//! matched among themselves — as the first extension direction, and points out that
+//! unlike two-sided stable matching a solution need not exist. This module provides
+//! the classical centralized solution so the extension has a substrate to build on:
+//! Irving's two-phase algorithm, which either returns a stable matching or reports that
+//! none exists, in `O(n²)` time.
+
+use std::fmt;
+
+/// A stable roommates instance: `n` agents (n even), each ranking the other `n - 1`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoommatesInstance {
+    n: usize,
+    /// `rank[a][b]` = position of `b` in `a`'s list (lower is better); `rank[a][a]` unused.
+    rank: Vec<Vec<usize>>,
+    /// `pref[a]` = `a`'s ranking of the other agents, most preferred first.
+    pref: Vec<Vec<usize>>,
+}
+
+/// Errors when constructing a roommates instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RoommatesError {
+    /// The number of agents must be even and at least 2.
+    OddOrEmpty {
+        /// Number of agents supplied.
+        n: usize,
+    },
+    /// Agent `agent`'s list is not a permutation of all other agents.
+    InvalidList {
+        /// The offending agent.
+        agent: usize,
+    },
+}
+
+impl fmt::Display for RoommatesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoommatesError::OddOrEmpty { n } => {
+                write!(f, "number of agents must be even and positive, got {n}")
+            }
+            RoommatesError::InvalidList { agent } => {
+                write!(f, "preference list of agent {agent} must rank every other agent exactly once")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoommatesError {}
+
+impl RoommatesInstance {
+    /// Builds an instance from per-agent rankings of the other agents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RoommatesError::OddOrEmpty`] if `prefs.len()` is odd or zero and
+    /// [`RoommatesError::InvalidList`] if a list is not a permutation of all other
+    /// agents.
+    pub fn new(prefs: Vec<Vec<usize>>) -> Result<Self, RoommatesError> {
+        let n = prefs.len();
+        if n == 0 || n % 2 != 0 {
+            return Err(RoommatesError::OddOrEmpty { n });
+        }
+        let mut rank = vec![vec![usize::MAX; n]; n];
+        for (a, list) in prefs.iter().enumerate() {
+            if list.len() != n - 1 {
+                return Err(RoommatesError::InvalidList { agent: a });
+            }
+            for (pos, &b) in list.iter().enumerate() {
+                if b >= n || b == a || rank[a][b] != usize::MAX {
+                    return Err(RoommatesError::InvalidList { agent: a });
+                }
+                rank[a][b] = pos;
+            }
+        }
+        Ok(Self { n, rank, pref: prefs })
+    }
+
+    /// Number of agents.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if agent `a` prefers `b` over `c`.
+    pub fn prefers(&self, a: usize, b: usize, c: usize) -> bool {
+        self.rank[a][b] < self.rank[a][c]
+    }
+
+    /// Checks whether `matching[a]` (partner of each agent) is stable: no two agents
+    /// prefer each other over their assigned partners.
+    pub fn is_stable(&self, matching: &[usize]) -> bool {
+        if matching.len() != self.n {
+            return false;
+        }
+        for a in 0..self.n {
+            if matching[a] >= self.n || matching[matching[a]] != a || matching[a] == a {
+                return false;
+            }
+        }
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                if matching[a] == b {
+                    continue;
+                }
+                if self.prefers(a, b, matching[a]) && self.prefers(b, a, matching[b]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Active-pair table used by Irving's algorithm.
+struct Table<'a> {
+    instance: &'a RoommatesInstance,
+    active: Vec<Vec<bool>>,
+}
+
+impl<'a> Table<'a> {
+    fn new(instance: &'a RoommatesInstance) -> Self {
+        let n = instance.n;
+        let mut active = vec![vec![false; n]; n];
+        for a in 0..n {
+            for &b in &instance.pref[a] {
+                active[a][b] = true;
+            }
+        }
+        Self { instance, active }
+    }
+
+    fn delete_pair(&mut self, a: usize, b: usize) {
+        self.active[a][b] = false;
+        self.active[b][a] = false;
+    }
+
+    fn first(&self, a: usize) -> Option<usize> {
+        self.instance.pref[a].iter().copied().find(|&b| self.active[a][b])
+    }
+
+    fn second(&self, a: usize) -> Option<usize> {
+        self.instance.pref[a].iter().copied().filter(|&b| self.active[a][b]).nth(1)
+    }
+
+    fn last(&self, a: usize) -> Option<usize> {
+        self.instance.pref[a].iter().copied().rev().find(|&b| self.active[a][b])
+    }
+
+    fn list_len(&self, a: usize) -> usize {
+        self.instance.pref[a].iter().filter(|&&b| self.active[a][b]).count()
+    }
+}
+
+/// Solves the stable roommates instance with Irving's algorithm.
+///
+/// Returns `Some(matching)` (with `matching[a]` = partner of `a`) if a stable matching
+/// exists, and `None` otherwise.
+pub fn solve_roommates(instance: &RoommatesInstance) -> Option<Vec<usize>> {
+    let n = instance.n();
+    let mut table = Table::new(instance);
+
+    // Phase 1: proposal sequence.
+    // holder[b] = agent whose proposal b currently holds.
+    let mut holder: Vec<Option<usize>> = vec![None; n];
+    let mut proposes_to: Vec<Option<usize>> = vec![None; n];
+    let mut queue: Vec<usize> = (0..n).rev().collect();
+    while let Some(a) = queue.pop() {
+        if proposes_to[a].is_some() {
+            continue;
+        }
+        loop {
+            let Some(b) = table.first(a) else {
+                // `a` was rejected by everyone: no stable matching exists.
+                return None;
+            };
+            match holder[b] {
+                None => {
+                    holder[b] = Some(a);
+                    proposes_to[a] = Some(b);
+                    break;
+                }
+                Some(current) => {
+                    if instance.prefers(b, a, current) {
+                        holder[b] = Some(a);
+                        proposes_to[a] = Some(b);
+                        table.delete_pair(b, current);
+                        proposes_to[current] = None;
+                        queue.push(current);
+                        break;
+                    } else {
+                        table.delete_pair(a, b);
+                    }
+                }
+            }
+        }
+    }
+
+    // Phase 1 reduction: if b holds a proposal from a, b deletes everyone it ranks
+    // below a.
+    for b in 0..n {
+        if let Some(a) = holder[b] {
+            let worse: Vec<usize> = instance.pref[b]
+                .iter()
+                .copied()
+                .filter(|&c| table.active[b][c] && instance.prefers(b, a, c) && c != a)
+                .collect();
+            for c in worse {
+                table.delete_pair(b, c);
+            }
+        }
+    }
+    if (0..n).any(|a| table.list_len(a) == 0) {
+        return None;
+    }
+
+    // Phase 2: rotation elimination.
+    loop {
+        let Some(start) = (0..n).find(|&a| table.list_len(a) > 1) else {
+            break;
+        };
+        // Walk p_{i+1} = last(second(p_i)) until a vertex repeats.
+        let mut path: Vec<usize> = Vec::new();
+        let mut seen_at = vec![usize::MAX; n];
+        let mut p = start;
+        let cycle_start;
+        loop {
+            if seen_at[p] != usize::MAX {
+                cycle_start = seen_at[p];
+                break;
+            }
+            seen_at[p] = path.len();
+            path.push(p);
+            let q = table.second(p).expect("list length > 1 along the rotation walk");
+            p = table.last(q).expect("active lists are symmetric and nonempty");
+        }
+        let cycle = &path[cycle_start..];
+        let r = cycle.len();
+        // Rotation: (x_i, y_i) with y_i = first(x_i); eliminate by having y_{i+1}
+        // reject x_i, i.e. delete (x_i, y_{i+1}'s successors)… the standard elimination
+        // is: for each i, delete the pair (x_i, y_i) so that x_i moves on to y_{i+1}.
+        let firsts: Vec<usize> = cycle
+            .iter()
+            .map(|&x| table.first(x).expect("nonempty list"))
+            .collect();
+        for (idx, &x) in cycle.iter().enumerate() {
+            table.delete_pair(x, firsts[idx]);
+        }
+        // After x_i loses y_i, y_{i+1} now "holds" x_i: y_{i+1} deletes everyone it
+        // ranks below x_i.
+        for (idx, &x) in cycle.iter().enumerate() {
+            let y_next = firsts[(idx + 1) % r];
+            let worse: Vec<usize> = instance.pref[y_next]
+                .iter()
+                .copied()
+                .filter(|&c| table.active[y_next][c] && instance.prefers(y_next, x, c) && c != x)
+                .collect();
+            for c in worse {
+                table.delete_pair(y_next, c);
+            }
+        }
+        if (0..n).any(|a| table.list_len(a) == 0) {
+            return None;
+        }
+    }
+
+    // Every list has exactly one entry: read off the matching and verify symmetry.
+    let mut matching = vec![usize::MAX; n];
+    for a in 0..n {
+        matching[a] = table.first(a)?;
+    }
+    for a in 0..n {
+        if matching[matching[a]] != a {
+            return None;
+        }
+    }
+    if instance.is_stable(&matching) {
+        Some(matching)
+    } else {
+        None
+    }
+}
+
+/// Brute-force oracle: enumerates all perfect matchings and returns a stable one, if any.
+///
+/// Exponential; only for tests with `n ≤ 10`.
+///
+/// # Panics
+///
+/// Panics if `instance.n() > 10`.
+pub fn solve_roommates_brute_force(instance: &RoommatesInstance) -> Option<Vec<usize>> {
+    let n = instance.n();
+    assert!(n <= 10, "brute force limited to n <= 10");
+    let mut partner = vec![usize::MAX; n];
+    fn recurse(instance: &RoommatesInstance, partner: &mut Vec<usize>) -> bool {
+        let n = instance.n();
+        let Some(a) = (0..n).find(|&a| partner[a] == usize::MAX) else {
+            return instance.is_stable(partner);
+        };
+        for b in (a + 1)..n {
+            if partner[b] == usize::MAX {
+                partner[a] = b;
+                partner[b] = a;
+                if recurse(instance, partner) {
+                    return true;
+                }
+                partner[a] = usize::MAX;
+                partner[b] = usize::MAX;
+            }
+        }
+        false
+    }
+    if recurse(instance, &mut partner) {
+        Some(partner)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::seq::{IndexedRandom, SliceRandom};
+    use rand::SeedableRng;
+
+    fn random_instance(n: usize, rng: &mut StdRng) -> RoommatesInstance {
+        let prefs = (0..n)
+            .map(|a| {
+                let mut others: Vec<usize> = (0..n).filter(|&b| b != a).collect();
+                others.shuffle(rng);
+                others
+            })
+            .collect();
+        RoommatesInstance::new(prefs).unwrap()
+    }
+
+    #[test]
+    fn validation_rejects_bad_instances() {
+        assert!(RoommatesInstance::new(vec![]).is_err());
+        assert!(RoommatesInstance::new(vec![vec![1], vec![0], vec![0, 1]]).is_err());
+        assert!(RoommatesInstance::new(vec![vec![0], vec![0]]).is_err());
+        assert!(RoommatesInstance::new(vec![vec![1, 1, 2, 3]; 4]).is_err());
+        assert!(RoommatesInstance::new(vec![vec![1], vec![0]]).is_ok());
+    }
+
+    #[test]
+    fn two_agents_always_match() {
+        let instance = RoommatesInstance::new(vec![vec![1], vec![0]]).unwrap();
+        assert_eq!(solve_roommates(&instance), Some(vec![1, 0]));
+    }
+
+    #[test]
+    fn classic_unsolvable_instance() {
+        // Agents 0, 1, 2 form a cyclic preference over each other and all rank agent 3
+        // last; agent 3's list is arbitrary. No stable matching exists (Irving 1985).
+        let instance = RoommatesInstance::new(vec![
+            vec![1, 2, 3],
+            vec![2, 0, 3],
+            vec![0, 1, 3],
+            vec![0, 1, 2],
+        ])
+        .unwrap();
+        assert_eq!(solve_roommates(&instance), None);
+        assert_eq!(solve_roommates_brute_force(&instance), None);
+    }
+
+    #[test]
+    fn irving_textbook_instance() {
+        // 6-agent instance from Irving's paper (1-indexed there); a stable matching exists.
+        let instance = RoommatesInstance::new(vec![
+            vec![3, 5, 1, 2, 4],
+            vec![5, 2, 3, 0, 4],
+            vec![1, 4, 5, 0, 3],
+            vec![2, 5, 1, 0, 4],
+            vec![0, 2, 3, 1, 5],
+            vec![4, 0, 1, 3, 2],
+        ])
+        .unwrap();
+        let result = solve_roommates(&instance);
+        assert!(result.is_some());
+        assert!(instance.is_stable(&result.unwrap()));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut solvable = 0usize;
+        let mut unsolvable = 0usize;
+        for _ in 0..60 {
+            let n = *[4usize, 6].choose(&mut rng).unwrap();
+            let instance = random_instance(n, &mut rng);
+            let irving = solve_roommates(&instance);
+            let brute = solve_roommates_brute_force(&instance);
+            assert_eq!(irving.is_some(), brute.is_some(), "instance: {instance:?}");
+            if let Some(m) = irving {
+                assert!(instance.is_stable(&m));
+                solvable += 1;
+            } else {
+                unsolvable += 1;
+            }
+        }
+        // Both outcomes should occur across 60 random instances.
+        assert!(solvable > 0);
+        assert!(unsolvable > 0);
+    }
+
+    #[test]
+    fn is_stable_rejects_malformed_matchings() {
+        let instance = RoommatesInstance::new(vec![vec![1], vec![0]]).unwrap();
+        assert!(!instance.is_stable(&[0, 1]));
+        assert!(!instance.is_stable(&[1]));
+        assert!(!instance.is_stable(&[5, 0]));
+        assert!(instance.is_stable(&[1, 0]));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(!RoommatesError::OddOrEmpty { n: 3 }.to_string().is_empty());
+        assert!(!RoommatesError::InvalidList { agent: 1 }.to_string().is_empty());
+    }
+}

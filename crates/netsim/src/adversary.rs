@@ -1,0 +1,151 @@
+use crate::{Envelope, Outgoing, PartyId, PartySet, Time, Topology};
+use bsm_matching::Side;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The per-side corruption budget `(tL, tR)` of the adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionBudget {
+    /// Maximum number of corrupted parties on side `L`.
+    pub t_l: usize,
+    /// Maximum number of corrupted parties on side `R`.
+    pub t_r: usize,
+}
+
+impl CorruptionBudget {
+    /// A budget of zero corruptions on either side (the fault-free setting).
+    pub const NONE: CorruptionBudget = CorruptionBudget { t_l: 0, t_r: 0 };
+
+    /// Creates a budget.
+    pub fn new(t_l: usize, t_r: usize) -> Self {
+        Self { t_l, t_r }
+    }
+
+    /// The budget for one side.
+    pub fn for_side(&self, side: Side) -> usize {
+        match side {
+            Side::Left => self.t_l,
+            Side::Right => self.t_r,
+        }
+    }
+
+    /// Returns `true` if corrupting `candidate` on top of `corrupted` stays within the
+    /// budget.
+    pub fn allows(&self, corrupted: &BTreeSet<PartyId>, candidate: PartyId) -> bool {
+        if corrupted.contains(&candidate) {
+            return true;
+        }
+        let used = corrupted.iter().filter(|p| p.side == candidate.side).count();
+        used < self.for_side(candidate.side)
+    }
+}
+
+/// A read-only snapshot of public network information offered to the adversary.
+///
+/// The adversary sees the topology, the corruption state, and the messages addressed to
+/// corrupted parties — but never the internal state of honest processes, matching the
+/// standard byzantine model with private channels.
+#[derive(Debug, Clone)]
+pub struct AdversaryContext {
+    /// Current slot.
+    pub now: Time,
+    /// The party universe.
+    pub parties: PartySet,
+    /// The communication topology (also enforced on byzantine messages).
+    pub topology: Topology,
+    /// Parties currently controlled by the adversary.
+    pub corrupted: BTreeSet<PartyId>,
+    /// The corruption budget.
+    pub budget: CorruptionBudget,
+}
+
+impl AdversaryContext {
+    /// Convenience: all parties the adversary does not control.
+    pub fn honest(&self) -> Vec<PartyId> {
+        self.parties.iter().filter(|p| !self.corrupted.contains(p)).collect()
+    }
+}
+
+/// An adaptive byzantine adversary.
+///
+/// Each slot the simulator first asks for additional corruptions (adaptive adversaries
+/// may corrupt mid-protocol; requests beyond the budget are ignored), then hands over
+/// the inboxes of all corrupted parties and collects the messages the corrupted parties
+/// send this slot. Messages from non-corrupted senders or over non-existent channels are
+/// discarded by the simulator.
+pub trait Adversary<M> {
+    /// Parties to corrupt at the beginning of this slot (may be empty).
+    fn plan_corruptions(&mut self, _ctx: &AdversaryContext) -> Vec<PartyId> {
+        Vec::new()
+    }
+
+    /// Messages sent by corrupted parties this slot, as `(sender, outgoing)` pairs.
+    fn act(
+        &mut self,
+        _ctx: &AdversaryContext,
+        _inboxes: &BTreeMap<PartyId, Vec<Envelope<M>>>,
+    ) -> Vec<(PartyId, Outgoing<M>)> {
+        Vec::new()
+    }
+}
+
+/// The adversary that does nothing: corrupted parties simply crash (send no messages).
+///
+/// Statically corrupting parties and attaching `PassiveAdversary` models crash faults
+/// from time 0, the failure mode discussed for content delivery networks in the paper's
+/// introduction.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PassiveAdversary;
+
+impl<M> Adversary<M> for PassiveAdversary {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_accounting_is_per_side() {
+        let budget = CorruptionBudget::new(1, 2);
+        assert_eq!(budget.for_side(Side::Left), 1);
+        assert_eq!(budget.for_side(Side::Right), 2);
+        let mut corrupted = BTreeSet::new();
+        assert!(budget.allows(&corrupted, PartyId::left(0)));
+        corrupted.insert(PartyId::left(0));
+        // Already-corrupted parties are always allowed (idempotent).
+        assert!(budget.allows(&corrupted, PartyId::left(0)));
+        // The left budget is exhausted but the right budget is not.
+        assert!(!budget.allows(&corrupted, PartyId::left(1)));
+        assert!(budget.allows(&corrupted, PartyId::right(0)));
+        corrupted.insert(PartyId::right(0));
+        corrupted.insert(PartyId::right(1));
+        assert!(!budget.allows(&corrupted, PartyId::right(2)));
+        assert_eq!(CorruptionBudget::NONE.for_side(Side::Left), 0);
+    }
+
+    #[test]
+    fn context_honest_listing() {
+        let ctx = AdversaryContext {
+            now: Time::ZERO,
+            parties: PartySet::new(2),
+            topology: Topology::FullyConnected,
+            corrupted: [PartyId::left(0)].into_iter().collect(),
+            budget: CorruptionBudget::new(1, 0),
+        };
+        let honest = ctx.honest();
+        assert_eq!(honest.len(), 3);
+        assert!(!honest.contains(&PartyId::left(0)));
+    }
+
+    #[test]
+    fn passive_adversary_never_acts() {
+        let ctx = AdversaryContext {
+            now: Time::ZERO,
+            parties: PartySet::new(1),
+            topology: Topology::Bipartite,
+            corrupted: BTreeSet::new(),
+            budget: CorruptionBudget::NONE,
+        };
+        let mut adversary = PassiveAdversary;
+        assert!(Adversary::<u32>::plan_corruptions(&mut adversary, &ctx).is_empty());
+        assert!(Adversary::<u32>::act(&mut adversary, &ctx, &BTreeMap::new()).is_empty());
+    }
+}

@@ -1,0 +1,149 @@
+use crate::{Envelope, Time};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Message-level fault injection.
+///
+/// The paper's bipartite authenticated protocol (`ΠbSM`, §5.2) reduces the disconnected
+/// side to "a fully-connected network *with omissions*: a message may either be received
+/// within `2·Δ` units of time, or it is never delivered". Fault injectors let the test
+/// suite and benchmarks create such omission networks directly, independent of any
+/// byzantine relay behaviour, so the building blocks (`ΠBA`, `ΠBB`) can be exercised
+/// against Theorem 8/9's weak-agreement guarantees in isolation.
+pub trait FaultInjector<M> {
+    /// Returns `true` if the message should be delivered, `false` to drop it silently.
+    fn deliver(&mut self, envelope: &Envelope<M>, now: Time) -> bool;
+}
+
+/// Delivers everything (the fault-free network).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl<M> FaultInjector<M> for NoFaults {
+    fn deliver(&mut self, _envelope: &Envelope<M>, _now: Time) -> bool {
+        true
+    }
+}
+
+/// Drops everything — a fully partitioned network.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DropAll;
+
+impl<M> FaultInjector<M> for DropAll {
+    fn deliver(&mut self, _envelope: &Envelope<M>, _now: Time) -> bool {
+        false
+    }
+}
+
+/// Drops messages matching a predicate (e.g. "every message from L2 to L0 after slot 3").
+pub struct PredicateFaults<M> {
+    #[allow(clippy::type_complexity)]
+    drop_if: Box<dyn FnMut(&Envelope<M>, Time) -> bool + Send>,
+}
+
+impl<M> PredicateFaults<M> {
+    /// Creates an injector that drops messages for which `drop_if` returns `true`.
+    pub fn new(drop_if: impl FnMut(&Envelope<M>, Time) -> bool + Send + 'static) -> Self {
+        Self { drop_if: Box::new(drop_if) }
+    }
+}
+
+impl<M> std::fmt::Debug for PredicateFaults<M> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PredicateFaults").finish_non_exhaustive()
+    }
+}
+
+impl<M> FaultInjector<M> for PredicateFaults<M> {
+    fn deliver(&mut self, envelope: &Envelope<M>, now: Time) -> bool {
+        !(self.drop_if)(envelope, now)
+    }
+}
+
+/// Drops each message independently with probability `drop_probability`, using a seeded
+/// RNG so runs remain reproducible.
+#[derive(Debug)]
+pub struct RandomOmissions {
+    drop_probability: f64,
+    rng: StdRng,
+}
+
+impl RandomOmissions {
+    /// Creates a random omission injector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `drop_probability` is not within `[0, 1]`.
+    pub fn new(drop_probability: f64, seed: u64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability must be in [0, 1], got {drop_probability}"
+        );
+        Self { drop_probability, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl<M> FaultInjector<M> for RandomOmissions {
+    fn deliver(&mut self, _envelope: &Envelope<M>, _now: Time) -> bool {
+        !self.rng.random_bool(self.drop_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PartyId;
+
+    fn envelope(payload: u32) -> Envelope<u32> {
+        Envelope {
+            from: PartyId::left(0),
+            to: PartyId::right(0),
+            sent_at: Time(0),
+            deliver_at: Time(1),
+            payload,
+        }
+    }
+
+    #[test]
+    fn no_faults_delivers_and_drop_all_drops() {
+        assert!(FaultInjector::<u32>::deliver(&mut NoFaults, &envelope(1), Time(1)));
+        assert!(!FaultInjector::<u32>::deliver(&mut DropAll, &envelope(1), Time(1)));
+    }
+
+    #[test]
+    fn predicate_faults_drop_matching_messages() {
+        let mut injector = PredicateFaults::new(|env: &Envelope<u32>, _| env.payload == 7);
+        assert!(injector.deliver(&envelope(1), Time(1)));
+        assert!(!injector.deliver(&envelope(7), Time(1)));
+        assert!(format!("{injector:?}").contains("PredicateFaults"));
+    }
+
+    #[test]
+    fn random_omissions_extremes() {
+        let mut never = RandomOmissions::new(0.0, 1);
+        let mut always = RandomOmissions::new(1.0, 1);
+        for i in 0..50 {
+            assert!(FaultInjector::<u32>::deliver(&mut never, &envelope(i), Time(1)));
+            assert!(!FaultInjector::<u32>::deliver(&mut always, &envelope(i), Time(1)));
+        }
+    }
+
+    #[test]
+    fn random_omissions_are_seed_deterministic() {
+        let mut a = RandomOmissions::new(0.5, 99);
+        let mut b = RandomOmissions::new(0.5, 99);
+        let pattern_a: Vec<bool> =
+            (0..100).map(|i| FaultInjector::<u32>::deliver(&mut a, &envelope(i), Time(1))).collect();
+        let pattern_b: Vec<bool> =
+            (0..100).map(|i| FaultInjector::<u32>::deliver(&mut b, &envelope(i), Time(1))).collect();
+        assert_eq!(pattern_a, pattern_b);
+        assert!(pattern_a.iter().any(|&d| d));
+        assert!(pattern_a.iter().any(|&d| !d));
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0, 1]")]
+    fn invalid_probability_panics() {
+        let _ = RandomOmissions::new(1.5, 0);
+    }
+}

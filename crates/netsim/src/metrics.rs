@@ -1,0 +1,60 @@
+use crate::PartyId;
+use std::collections::BTreeMap;
+
+/// Message and round accounting for one simulation run.
+///
+/// The complexity experiments (E6–E11 in `DESIGN.md`) read these counters to build the
+/// rounds/messages-versus-`k` tables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Metrics {
+    /// Messages accepted into the network from honest parties.
+    pub honest_messages: u64,
+    /// Messages accepted into the network from corrupted parties.
+    pub byzantine_messages: u64,
+    /// Messages actually delivered to a recipient.
+    pub delivered_messages: u64,
+    /// Messages dropped by the fault injector.
+    pub dropped_by_faults: u64,
+    /// Messages discarded because the topology has no such channel (or the destination
+    /// does not exist). For honest protocol code this should stay 0.
+    pub rejected_by_topology: u64,
+    /// Number of slots executed.
+    pub slots: u64,
+    /// Messages sent per party (honest and byzantine).
+    pub sent_per_party: BTreeMap<PartyId, u64>,
+}
+
+impl Metrics {
+    /// Total messages accepted into the network.
+    pub fn total_messages(&self) -> u64 {
+        self.honest_messages + self.byzantine_messages
+    }
+
+    /// Records an accepted message from `sender`.
+    pub(crate) fn record_sent(&mut self, sender: PartyId, byzantine: bool) {
+        if byzantine {
+            self.byzantine_messages += 1;
+        } else {
+            self.honest_messages += 1;
+        }
+        *self.sent_per_party.entry(sender).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::default();
+        m.record_sent(PartyId::left(0), false);
+        m.record_sent(PartyId::left(0), false);
+        m.record_sent(PartyId::right(1), true);
+        assert_eq!(m.honest_messages, 2);
+        assert_eq!(m.byzantine_messages, 1);
+        assert_eq!(m.total_messages(), 3);
+        assert_eq!(m.sent_per_party[&PartyId::left(0)], 2);
+        assert_eq!(m.sent_per_party[&PartyId::right(1)], 1);
+    }
+}

@@ -1,0 +1,43 @@
+//! Prints the solvability characterization (the paper's §1 summary) as a matrix over
+//! corruption budgets, for every topology and cryptographic assumption.
+//!
+//! Run with `cargo run --example solvability_explorer -- [k]` (default k = 6).
+
+use byzantine_stable_matching::core::problem::{AuthMode, Setting};
+use byzantine_stable_matching::{characterize, Solvability, Topology};
+
+fn main() {
+    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(6);
+    println!("byzantine stable matching solvability for k = {k} (✓ solvable, · unsolvable)\n");
+    for auth in AuthMode::ALL {
+        for topology in Topology::ALL {
+            println!("{auth}, {topology} network (rows tL = 0..{k}, columns tR = 0..{k}):");
+            print!("      ");
+            for t_r in 0..=k {
+                print!("tR={t_r:<2} ");
+            }
+            println!();
+            for t_l in 0..=k {
+                print!("tL={t_l:<2} ");
+                for t_r in 0..=k {
+                    let setting = Setting::new(k, topology, auth, t_l, t_r)
+                        .expect("bounds within the market size");
+                    let mark = match characterize(&setting) {
+                        Solvability::Solvable(_) => "✓",
+                        Solvability::Unsolvable(_) => "·",
+                    };
+                    print!("{mark:<6}");
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+    println!("Conditions (Theorems 2–7):");
+    println!("  unauthenticated fully-connected: tL < k/3 or tR < k/3");
+    println!("  unauthenticated bipartite:       tL, tR < k/2 and (tL < k/3 or tR < k/3)");
+    println!("  unauthenticated one-sided:       tR < k/2 and (tL < k/3 or tR < k/3)");
+    println!("  authenticated fully-connected:   always");
+    println!("  authenticated bipartite:         (tL, tR < k) or tL < k/3 or tR < k/3");
+    println!("  authenticated one-sided:         tR < k or tL < k/3");
+}

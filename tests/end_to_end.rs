@@ -1,0 +1,85 @@
+//! Workspace-level integration tests exercising the public facade exactly as a
+//! downstream user would: characterize a setting, run the protocol, verify the outcome
+//! against the offline Gale–Shapley oracle and the paper's properties.
+
+use byzantine_stable_matching::core::harness::{AdversarySpec, Scenario};
+use byzantine_stable_matching::core::problem::{AuthMode, Setting};
+use byzantine_stable_matching::core::solvability::ProtocolPlan;
+use byzantine_stable_matching::matching::gale_shapley::{gale_shapley, ProposingSide};
+use byzantine_stable_matching::{characterize, PartyId, Side, Solvability, Topology};
+
+#[test]
+fn facade_exposes_a_consistent_api() {
+    let setting = Setting::new(3, Topology::FullyConnected, AuthMode::Authenticated, 1, 1).unwrap();
+    match characterize(&setting) {
+        Solvability::Solvable(plan) => assert_eq!(plan, ProtocolPlan::DolevStrongBsm),
+        Solvability::Unsolvable(imp) => panic!("unexpected impossibility: {imp}"),
+    }
+}
+
+#[test]
+fn fault_free_run_agrees_with_the_offline_algorithm() {
+    let setting = Setting::new(4, Topology::OneSided, AuthMode::Unauthenticated, 0, 0).unwrap();
+    let scenario = Scenario::builder(setting).seed(99).build().unwrap();
+    let outcome = scenario.run().unwrap();
+    assert!(outcome.violations.is_empty());
+
+    let offline = gale_shapley(scenario.profile(), ProposingSide::Left).matching;
+    for (left, right) in offline.pairs() {
+        assert_eq!(
+            outcome.outputs[&PartyId::left(left as u32)],
+            Some(PartyId::right(right as u32))
+        );
+        assert_eq!(
+            outcome.outputs[&PartyId::right(right as u32)],
+            Some(PartyId::left(left as u32))
+        );
+    }
+}
+
+#[test]
+fn byzantine_partners_never_break_honest_guarantees() {
+    // A lying byzantine party may end up "matched" by several honest parties' local
+    // views only if it is byzantine — the checker must never flag honest pairs.
+    for topology in [Topology::FullyConnected, Topology::OneSided, Topology::Bipartite] {
+        let setting = Setting::new(4, topology, AuthMode::Authenticated, 1, 1).unwrap();
+        for adversary in [AdversarySpec::Crash, AdversarySpec::Lying, AdversarySpec::Garbage] {
+            let scenario = Scenario::builder(setting)
+                .seed(17)
+                .corrupt_left([0])
+                .corrupt_right([3])
+                .adversary(adversary)
+                .build()
+                .unwrap();
+            let outcome = scenario.run().unwrap();
+            assert!(outcome.all_honest_decided, "{topology} {adversary:?}");
+            assert!(outcome.violations.is_empty(), "{topology} {adversary:?}: {:?}", outcome.violations);
+        }
+    }
+}
+
+#[test]
+fn committee_side_selection_is_visible_in_the_plan() {
+    let setting = Setting::new(6, Topology::FullyConnected, AuthMode::Unauthenticated, 4, 1).unwrap();
+    match characterize(&setting) {
+        Solvability::Solvable(ProtocolPlan::CommitteeBroadcastBsm { committee_side }) => {
+            assert_eq!(committee_side, Side::Right);
+        }
+        other => panic!("unexpected plan {other:?}"),
+    }
+}
+
+#[test]
+fn relayed_topologies_cost_more_slots_than_the_full_mesh() {
+    // E10 (relay-overhead ablation) in miniature: the same market takes more slots on a
+    // bipartite network (2 slots per logical round) than on a full mesh (1 slot).
+    let mut slots = Vec::new();
+    for topology in [Topology::FullyConnected, Topology::Bipartite] {
+        let setting = Setting::new(3, topology, AuthMode::Authenticated, 1, 1).unwrap();
+        let scenario = Scenario::builder(setting).seed(5).build().unwrap();
+        let outcome = scenario.run().unwrap();
+        assert!(outcome.violations.is_empty());
+        slots.push(outcome.slots);
+    }
+    assert!(slots[1] > slots[0], "bipartite {} vs full mesh {}", slots[1], slots[0]);
+}
