@@ -212,7 +212,7 @@ mod tests {
         let mut counter = 0u64;
         let outputs = run(&c, vec![1, 2, 3, 4], move |_, _| {
             counter = counter.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (counter >> 33) % 2 == 0
+            (counter >> 33).is_multiple_of(2)
         });
         let decided: Vec<u32> = outputs.iter().flatten().copied().collect();
         assert!(decided.windows(2).all(|w| w[0] == w[1]), "outputs: {outputs:?}");

@@ -54,6 +54,10 @@ pub fn relay_digest(origin: PartyId, target: PartyId, id: u64, sent_at: u64, inn
     writer.finish()
 }
 
+/// Majority-relay vote state for one (origin, id): each candidate payload digest maps
+/// to the first payload observed with that digest and the distinct relayers backing it.
+type DigestTally = BTreeMap<Digest, (ProtoMsg, BTreeSet<PartyId>)>;
+
 /// Per-party relay engine: wraps outgoing sends, performs relay duty, and authenticates
 /// incoming relayed payloads.
 pub struct RelayEngine {
@@ -65,7 +69,7 @@ pub struct RelayEngine {
     next_id: u64,
     /// Majority mode: (origin, id) → payload digest → distinct relayers seen (plus the
     /// first payload observed for that digest).
-    tallies: BTreeMap<(PartyId, u64), BTreeMap<Digest, (ProtoMsg, BTreeSet<PartyId>)>>,
+    tallies: BTreeMap<(PartyId, u64), DigestTally>,
     /// Messages already delivered to the protocol, by (origin, id).
     delivered: BTreeSet<(PartyId, u64)>,
 }

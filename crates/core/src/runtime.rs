@@ -68,7 +68,7 @@ impl Process<WireMsg, MatchDecision> for PartyRuntime {
             self.buffer.extend(accepted);
             out.extend(duties);
         }
-        if now.slot() % self.slots_per_round == 0 {
+        if now.slot().is_multiple_of(self.slots_per_round) {
             let round = now.slot() / self.slots_per_round;
             let delivered = std::mem::take(&mut self.buffer);
             for outgoing in self.protocol.round(round, &delivered) {

@@ -85,7 +85,7 @@ impl Sha256 {
                 120 - used
             }
         };
-        padding.extend(std::iter::repeat(0u8).take(pad_zeros));
+        padding.extend(std::iter::repeat_n(0u8, pad_zeros));
         padding.extend_from_slice(&bit_len.to_be_bytes());
         // Feed padding through the same buffering path (do not count it in total_len).
         let mut input: &[u8] = &padding;

@@ -182,11 +182,8 @@ pub fn gale_shapley_incomplete(profile: &IncompleteProfile) -> Matching {
     let mut free: Vec<usize> = (0..k).rev().collect();
 
     while let Some(proposer) = free.pop() {
-        loop {
-            let Some(target) = profile.left(proposer).partner_at(next[proposer]) else {
-                // Exhausted the acceptable list: stays unmatched.
-                break;
-            };
+        // Proposals stop once the acceptable list is exhausted: stays unmatched.
+        while let Some(target) = profile.left(proposer).partner_at(next[proposer]) {
             next[proposer] += 1;
             if !profile.right(target).accepts(proposer) {
                 continue;

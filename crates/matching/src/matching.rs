@@ -363,7 +363,7 @@ mod tests {
         let m = Matching::identity(3).unwrap();
         // Check stability using the brute-force oracle instead of hand-reasoning.
         let stable_set = enumerate_stable_matchings(&profile);
-        assert_eq!(stable_set.iter().any(|s| *s == m), m.is_stable(&profile));
+        assert_eq!(stable_set.contains(&m), m.is_stable(&profile));
         assert!(!stable_set.is_empty(), "Gale-Shapley theorem: a stable matching exists");
     }
 

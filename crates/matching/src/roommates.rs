@@ -60,7 +60,7 @@ impl RoommatesInstance {
     /// agents.
     pub fn new(prefs: Vec<Vec<usize>>) -> Result<Self, RoommatesError> {
         let n = prefs.len();
-        if n == 0 || n % 2 != 0 {
+        if n == 0 || !n.is_multiple_of(2) {
             return Err(RoommatesError::OddOrEmpty { n });
         }
         let mut rank = vec![vec![usize::MAX; n]; n];
@@ -123,9 +123,9 @@ impl<'a> Table<'a> {
     fn new(instance: &'a RoommatesInstance) -> Self {
         let n = instance.n;
         let mut active = vec![vec![false; n]; n];
-        for a in 0..n {
+        for (a, row) in active.iter_mut().enumerate() {
             for &b in &instance.pref[a] {
-                active[a][b] = true;
+                row[b] = true;
             }
         }
         Self { instance, active }
@@ -199,8 +199,8 @@ pub fn solve_roommates(instance: &RoommatesInstance) -> Option<Vec<usize>> {
 
     // Phase 1 reduction: if b holds a proposal from a, b deletes everyone it ranks
     // below a.
-    for b in 0..n {
-        if let Some(a) = holder[b] {
+    for (b, held) in holder.iter().enumerate() {
+        if let Some(a) = *held {
             let worse: Vec<usize> = instance.pref[b]
                 .iter()
                 .copied()
@@ -216,10 +216,7 @@ pub fn solve_roommates(instance: &RoommatesInstance) -> Option<Vec<usize>> {
     }
 
     // Phase 2: rotation elimination.
-    loop {
-        let Some(start) = (0..n).find(|&a| table.list_len(a) > 1) else {
-            break;
-        };
+    while let Some(start) = (0..n).find(|&a| table.list_len(a) > 1) {
         // Walk p_{i+1} = last(second(p_i)) until a vertex repeats.
         let mut path: Vec<usize> = Vec::new();
         let mut seen_at = vec![usize::MAX; n];
@@ -267,8 +264,8 @@ pub fn solve_roommates(instance: &RoommatesInstance) -> Option<Vec<usize>> {
 
     // Every list has exactly one entry: read off the matching and verify symmetry.
     let mut matching = vec![usize::MAX; n];
-    for a in 0..n {
-        matching[a] = table.first(a)?;
+    for (a, slot) in matching.iter_mut().enumerate() {
+        *slot = table.first(a)?;
     }
     for a in 0..n {
         if matching[matching[a]] != a {

@@ -8,6 +8,35 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// The headline Gale–Shapley contract over 100 fixed seeds: on every profile the
+/// left-proposing run yields a perfect matching with no blocking pairs, and on the
+/// small profiles (where enumerating all stable matchings is cheap) it is also
+/// left-optimal — every left agent gets their best partner across the whole stable set.
+///
+/// This complements the `proptest!` suite below with an explicitly enumerated seed
+/// list, so a regression names the exact seed that broke.
+#[test]
+fn gale_shapley_stable_and_left_optimal_across_100_seeds() {
+    for seed in 0u64..100 {
+        // Spread sizes over 1..=20; left-optimality is verified for k ≤ 6 only,
+        // because its oracle enumerates the full stable set.
+        let k = 1 + (seed as usize * 7) % 20;
+        let profile = uniform_profile(k, &mut StdRng::seed_from_u64(seed));
+        let outcome = gale_shapley(&profile, ProposingSide::Left);
+        assert!(outcome.matching.is_perfect(), "seed {seed}: matching not perfect");
+        assert!(
+            outcome.matching.blocking_pairs(&profile).is_empty(),
+            "seed {seed}: blocking pair found for k = {k}"
+        );
+        if k <= 6 {
+            assert!(
+                is_proposer_optimal(&profile, &outcome.matching, ProposingSide::Left),
+                "seed {seed}: left-proposing run not left-optimal for k = {k}"
+            );
+        }
+    }
+}
+
 /// Strategy producing a random preference profile of size 1..=7 from a seed.
 fn arb_profile() -> impl Strategy<Value = PreferenceProfile> {
     (1usize..=7, any::<u64>())

@@ -69,7 +69,7 @@ impl<P: RoundProtocol> Process<P::Msg, P::Output> for RoundDriver<P> {
 
     fn step(&mut self, now: Time, inbox: Vec<Envelope<P::Msg>>) -> Vec<Outgoing<P::Msg>> {
         self.buffer.extend(inbox.into_iter().map(|env| (env.from, env.payload)));
-        if now.slot() % self.slots_per_round != 0 {
+        if !now.slot().is_multiple_of(self.slots_per_round) {
             return Vec::new();
         }
         let round = now.slot() / self.slots_per_round;

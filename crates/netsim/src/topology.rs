@@ -39,11 +39,10 @@ impl Topology {
 
     /// Returns `true` if the parties *within* `side` are pairwise connected.
     pub fn side_connected(&self, side: Side) -> bool {
-        match (self, side) {
-            (Topology::FullyConnected, _) => true,
-            (Topology::OneSided, Side::Right) => true,
-            _ => false,
-        }
+        matches!(
+            (self, side),
+            (Topology::FullyConnected, _) | (Topology::OneSided, Side::Right)
+        )
     }
 
     /// Returns `true` if every channel of `self` is also a channel of `other`.
