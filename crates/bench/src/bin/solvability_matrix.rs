@@ -5,18 +5,36 @@
 //! chosen market size, the binary prints whether Theorems 2–7 declare the setting
 //! solvable and, for the solvable boundary cells, cross-checks the claim by running the
 //! prescribed protocol at full corruption against the strategy library (expecting zero
-//! property violations). The unsolvable boundary cells are covered by the
-//! `impossibility_attacks` binary (E3–E5).
+//! property violations). The verification runs ride on the `bsm-engine` campaign
+//! executor, so boundary cells are checked in parallel. The unsolvable boundary cells
+//! are covered by the `impossibility_attacks` binary (E3–E5).
+//!
+//! Usage: `solvability_matrix [k] [--no-verify] [--threads N] [--seeds N]`
 
-use bsm_bench::run_boundary_scenario;
+use bsm_bench::BenchArgs;
 use bsm_core::harness::AdversarySpec;
 use bsm_core::problem::{AuthMode, Setting};
 use bsm_core::solvability::{characterize, Solvability};
+use bsm_engine::{Campaign, ScenarioSpec};
 use bsm_net::Topology;
 
+/// Returns `true` when the cell is solvable and increasing either budget is not.
+fn is_solvable_boundary(k: usize, topology: Topology, auth: AuthMode, t_l: usize, t_r: usize) -> bool {
+    let solvable = |t_l: usize, t_r: usize| {
+        Setting::new(k, topology, auth, t_l, t_r)
+            .map(|s| characterize(&s).is_solvable())
+            .unwrap_or(false)
+    };
+    solvable(t_l, t_r) && !solvable(t_l + 1, t_r) && !solvable(t_l, t_r + 1)
+}
+
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(4);
-    let verify: bool = std::env::args().nth(2).map(|a| a != "--no-verify").unwrap_or(true);
+    let args = BenchArgs::parse().warn_unknown();
+    let k = args.k_or(4);
+    let executor = args.executor();
+    // The thread count and throughput are wall-clock context, not results: stderr,
+    // so stdout stays byte-identical across runs and machines.
+    eprintln!("[{} engine threads, {} seed(s) per boundary cell]", executor.thread_count(), args.seeds);
     println!("# E1 — solvability matrix and empirical verification (k = {k})\n");
 
     for auth in AuthMode::ALL {
@@ -36,47 +54,56 @@ fn main() {
             }
             println!();
 
-            if !verify {
+            if !args.verify {
                 continue;
             }
-            // Verify the maximal solvable cells (boundary) empirically.
-            let mut verified = 0usize;
-            let mut violations = 0usize;
+            // Verify the maximal solvable cells (boundary) empirically: a campaign of
+            // boundary cells × adversary strategies, run on the engine.
+            let mut specs = Vec::new();
             for t_l in 0..=k {
                 for t_r in 0..=k {
-                    let setting = Setting::new(k, topology, auth, t_l, t_r).unwrap();
-                    if !matches!(characterize(&setting), Solvability::Solvable(_)) {
+                    if !is_solvable_boundary(k, topology, auth, t_l, t_r) {
                         continue;
                     }
-                    // Boundary cell: increasing either budget breaks solvability (or is
-                    // impossible).
-                    let up_l = t_l == k
-                        || !matches!(
-                            characterize(&Setting::new(k, topology, auth, t_l + 1, t_r).unwrap()),
-                            Solvability::Solvable(_)
-                        );
-                    let up_r = t_r == k
-                        || !matches!(
-                            characterize(&Setting::new(k, topology, auth, t_l, t_r + 1).unwrap()),
-                            Solvability::Solvable(_)
-                        );
-                    if !(up_l && up_r) {
-                        continue;
-                    }
-                    for (i, adversary) in
-                        [AdversarySpec::Crash, AdversarySpec::Lying, AdversarySpec::Garbage]
-                            .into_iter()
-                            .enumerate()
-                    {
-                        let outcome = run_boundary_scenario(setting, adversary, 1000 + i as u64);
-                        verified += 1;
-                        violations += outcome.violations.len();
+                    for (i, adversary) in AdversarySpec::ALL.into_iter().enumerate() {
+                        // Seed 1000 + i for the first draw (the historical E1 seeds),
+                        // striding by the strategy count for additional --seeds draws.
+                        for s in 0..args.seeds {
+                            specs.push(ScenarioSpec {
+                                k,
+                                topology,
+                                auth,
+                                t_l,
+                                t_r,
+                                adversary,
+                                seed: 1000 + i as u64 + s * AdversarySpec::ALL.len() as u64,
+                            });
+                        }
                     }
                 }
             }
+            let campaign = Campaign::from_specs(specs);
+            let (report, stats) = executor.run(&campaign);
+            let totals = report.totals();
+            // These cells are all solvable, so a failed run is a harness regression —
+            // abort loudly rather than printing a quietly reduced "verified" count
+            // (the pre-engine code panicked here via run_boundary_scenario).
+            if totals.failed > 0 {
+                for cell in report.cells() {
+                    if let bsm_engine::CellOutcome::Failed { message } = &cell.outcome {
+                        eprintln!("boundary run failed at {}: {message}", cell.spec);
+                    }
+                }
+                std::process::exit(1);
+            }
             println!(
-                "verified {verified} boundary runs (crash / lying / garbage adversaries): {violations} property violations\n"
+                "verified {} boundary runs (crash / lying / garbage adversaries): \
+                 {} property violations\n",
+                totals.completed, totals.violations
             );
+            // Wall-clock throughput goes to stderr so stdout stays byte-identical
+            // across runs (the repo's determinism convention).
+            eprintln!("[{auth}, {topology}: {stats}]");
         }
     }
     println!("Every solvable boundary cell ran clean; see `impossibility_attacks` for the");

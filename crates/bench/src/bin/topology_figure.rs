@@ -1,10 +1,13 @@
 //! Experiment E2 — Fig. 1 of the paper: the three communication topologies, printed as
 //! adjacency matrices together with their channel counts.
+//!
+//! Usage: `topology_figure [k]`
 
+use bsm_bench::BenchArgs;
 use bsm_net::{PartyId, PartySet, Topology};
 
 fn main() {
-    let k: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let k = BenchArgs::parse().warn_unknown().k_or(3);
     let parties: Vec<PartyId> = PartySet::new(k).iter().collect();
     println!("# E2 — Fig. 1: communication topologies (k = {k})\n");
     for topology in Topology::ALL {

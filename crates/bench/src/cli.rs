@@ -1,0 +1,147 @@
+//! Shared, engine-aware argument parsing for the experiment binaries.
+//!
+//! Every binary accepts the same small vocabulary, replacing the copy-pasted
+//! `std::env::args()` handling they used to carry individually:
+//!
+//! * a positional integer — the market size `k`,
+//! * `--no-verify` — print analytic tables only, skip the empirical runs,
+//! * `--threads N` — worker threads for the campaign engine (overrides `BSM_THREADS`),
+//! * `--seeds N` — seeds per grid cell for seed-sweeping experiments.
+
+use bsm_engine::Executor;
+use std::fmt;
+
+/// Parsed command-line arguments shared by the experiment binaries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchArgs {
+    /// The positional market size, when given.
+    pub k: Option<usize>,
+    /// `false` when `--no-verify` was passed.
+    pub verify: bool,
+    /// Worker-thread override from `--threads`.
+    pub threads: Option<usize>,
+    /// Seeds per cell from `--seeds` (default 1).
+    pub seeds: u64,
+    /// Arguments that were not recognized (reported, then ignored).
+    pub unknown: Vec<String>,
+}
+
+impl Default for BenchArgs {
+    fn default() -> Self {
+        Self { k: None, verify: true, threads: None, seeds: 1, unknown: Vec::new() }
+    }
+}
+
+impl BenchArgs {
+    /// Parses the process arguments (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+
+    /// Parses an explicit argument list (testable core of [`BenchArgs::parse`]).
+    pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
+        let mut parsed = Self::default();
+        let mut iter = args.into_iter();
+        while let Some(arg) = iter.next() {
+            match arg.as_str() {
+                "--no-verify" => parsed.verify = false,
+                "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => parsed.threads = Some(n),
+                    _ => parsed.unknown.push("--threads (expects a positive integer)".into()),
+                },
+                "--seeds" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => parsed.seeds = n,
+                    _ => parsed.unknown.push("--seeds (expects a positive integer)".into()),
+                },
+                other => match other.parse::<usize>() {
+                    Ok(k) if parsed.k.is_none() => parsed.k = Some(k),
+                    _ => parsed.unknown.push(other.to_string()),
+                },
+            }
+        }
+        parsed
+    }
+
+    /// The market size, falling back to `default` when no positional was given.
+    pub fn k_or(&self, default: usize) -> usize {
+        self.k.unwrap_or(default)
+    }
+
+    /// A campaign executor honoring `--threads` (and otherwise `BSM_THREADS` /
+    /// available parallelism, per [`Executor::new`]).
+    pub fn executor(&self) -> Executor {
+        let executor = Executor::new();
+        match self.threads {
+            Some(n) => executor.threads(n),
+            None => executor,
+        }
+    }
+
+    /// Warns on stderr about unrecognized arguments; returns `self` for chaining.
+    pub fn warn_unknown(self) -> Self {
+        for arg in &self.unknown {
+            eprintln!("warning: ignoring unrecognized argument: {arg}");
+        }
+        self
+    }
+}
+
+impl fmt::Display for BenchArgs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k={:?} verify={} threads={:?} seeds={}",
+            self.k, self.verify, self.threads, self.seeds
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> BenchArgs {
+        BenchArgs::from_args(list.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let parsed = args(&[]);
+        assert_eq!(parsed, BenchArgs::default());
+        assert_eq!(parsed.k_or(6), 6);
+        assert!(parsed.verify);
+    }
+
+    #[test]
+    fn positional_k_and_flags() {
+        let parsed = args(&["5", "--no-verify", "--threads", "3", "--seeds", "10"]);
+        assert_eq!(parsed.k, Some(5));
+        assert_eq!(parsed.k_or(6), 5);
+        assert!(!parsed.verify);
+        assert_eq!(parsed.threads, Some(3));
+        assert_eq!(parsed.seeds, 10);
+        assert!(parsed.unknown.is_empty());
+        assert_eq!(parsed.executor().thread_count(), 3);
+    }
+
+    #[test]
+    fn flag_order_does_not_matter() {
+        let a = args(&["--threads", "2", "4"]);
+        let b = args(&["4", "--threads", "2"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bad_values_and_extras_are_collected() {
+        let parsed = args(&["--threads", "zero", "--seeds", "0", "3", "7", "--wat"]);
+        assert_eq!(parsed.k, Some(3));
+        assert_eq!(parsed.threads, None);
+        assert_eq!(parsed.seeds, 1);
+        // second positional + bad --threads + bad --seeds + unknown flag
+        assert_eq!(parsed.unknown.len(), 4);
+        // warn_unknown only logs; parsing results are unchanged.
+        let warned = parsed.clone().warn_unknown();
+        assert_eq!(warned, parsed);
+        assert!(!parsed.to_string().is_empty());
+    }
+}

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// The byzantine behaviour installed for the corrupted parties.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum AdversarySpec {
     /// Corrupted parties crash from the start (send nothing at all).
     Crash,
@@ -32,6 +32,27 @@ pub enum AdversarySpec {
     Lying,
     /// Corrupted parties flood honest parties with well-formed garbage messages.
     Garbage,
+}
+
+impl AdversarySpec {
+    /// Every strategy of the library, in the canonical campaign-grid order.
+    pub const ALL: [AdversarySpec; 3] =
+        [AdversarySpec::Crash, AdversarySpec::Lying, AdversarySpec::Garbage];
+
+    /// A short lowercase name for experiment tables and exports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AdversarySpec::Crash => "crash",
+            AdversarySpec::Lying => "lying",
+            AdversarySpec::Garbage => "garbage",
+        }
+    }
+}
+
+impl fmt::Display for AdversarySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// Errors produced while building or running a scenario.
@@ -98,6 +119,14 @@ pub struct ScenarioOutcome {
     pub slots: u64,
     /// Message accounting.
     pub metrics: Metrics,
+    /// Number of signatures produced during this run (honest parties and adversary
+    /// alike; 0 for unauthenticated plans).
+    ///
+    /// Counted as a before/after delta on the scenario's shared PKI, so concurrent
+    /// `run()` calls on the *same* `Scenario` value may attribute signatures across
+    /// each other's counts. Sequential re-runs are exact, and campaign workers build
+    /// one `Scenario` per run, which keeps the accounting exact there too.
+    pub signatures: u64,
 }
 
 /// A fully specified experiment: setting + inputs + corrupted set + adversary.
@@ -210,6 +239,10 @@ impl Scenario {
         adversary: Box<dyn Adversary<WireMsg>>,
     ) -> Result<ScenarioOutcome, HarnessError> {
         let env = &self.env;
+        // Snapshot the signature counter so repeated runs of the same scenario (which
+        // share one PKI) still report the per-run cost; taken before the runtimes are
+        // registered because protocol constructors may already sign.
+        let signatures_before = env.pki.signatures_issued();
         let slots_per_round = env.slots_per_round();
         let total_rounds = env.total_rounds(plan);
         let max_slots = self
@@ -234,6 +267,7 @@ impl Scenario {
         net.set_adversary(adversary);
 
         let outcome = net.run(max_slots)?;
+        let signatures = env.pki.signatures_issued() - signatures_before;
         let instance = BsmInstance::new(self.profile.clone(), outcome.corrupted.clone());
         let violations = check_bsm(&instance, &outcome.outputs);
         Ok(ScenarioOutcome {
@@ -244,6 +278,7 @@ impl Scenario {
             all_honest_decided: outcome.all_honest_decided,
             slots: outcome.slots,
             metrics: outcome.metrics,
+            signatures,
         })
     }
 
@@ -577,6 +612,30 @@ mod tests {
         assert!(outcome.all_honest_decided);
         assert!(outcome.violations.is_empty(), "{:?}", outcome.violations);
         assert_eq!(outcome.corrupted.len(), 2);
+    }
+
+    #[test]
+    fn adversary_spec_display_and_all() {
+        assert_eq!(AdversarySpec::ALL.len(), 3);
+        assert_eq!(AdversarySpec::Crash.to_string(), "crash");
+        assert_eq!(AdversarySpec::Lying.to_string(), "lying");
+        assert_eq!(AdversarySpec::Garbage.to_string(), "garbage");
+    }
+
+    #[test]
+    fn signature_accounting_per_run() {
+        let authenticated = setting(3, Topology::FullyConnected, AuthMode::Authenticated, 1, 1);
+        let scenario = Scenario::builder(authenticated).seed(9).build().unwrap();
+        let first = scenario.run().unwrap();
+        assert!(first.signatures > 0, "Dolev-Strong runs must sign");
+        // A repeat run on the same scenario (same shared PKI) reports the same
+        // per-run signature count, not a cumulative total.
+        let second = scenario.run().unwrap();
+        assert_eq!(first.signatures, second.signatures);
+
+        let unauth = setting(3, Topology::Bipartite, AuthMode::Unauthenticated, 0, 1);
+        let outcome = Scenario::builder(unauth).seed(9).build().unwrap().run().unwrap();
+        assert_eq!(outcome.signatures, 0, "unauthenticated plans never sign");
     }
 
     #[test]

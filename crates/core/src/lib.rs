@@ -61,7 +61,7 @@ pub mod ssm;
 pub mod strategies;
 pub mod wire;
 
-pub use harness::{Scenario, ScenarioOutcome};
+pub use harness::{AdversarySpec, HarnessError, Scenario, ScenarioOutcome};
 pub use problem::{AuthMode, MatchDecision, Setting};
 pub use properties::{check_bsm, PropertyViolation};
 pub use solvability::{characterize, ProtocolPlan, Solvability};

@@ -74,6 +74,15 @@ pub enum Solvability {
     Unsolvable(Impossibility),
 }
 
+impl fmt::Display for Solvability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Solvability::Solvable(plan) => write!(f, "solvable via {plan}"),
+            Solvability::Unsolvable(imp) => write!(f, "{imp}"),
+        }
+    }
+}
+
 impl Solvability {
     /// Returns `true` for the solvable case.
     pub fn is_solvable(&self) -> bool {
@@ -415,6 +424,10 @@ mod tests {
             .contains("bSM"));
         let imp = Impossibility { theorem: "Theorem 2", reason: "x".into() };
         assert!(imp.to_string().contains("Theorem 2"));
-        assert!(Solvability::Unsolvable(imp).plan().is_none());
+        let unsolvable = Solvability::Unsolvable(imp);
+        assert!(unsolvable.to_string().contains("unsolvable by Theorem 2"));
+        assert!(unsolvable.plan().is_none());
+        let solvable = Solvability::Solvable(ProtocolPlan::DolevStrongBsm);
+        assert_eq!(solvable.to_string(), "solvable via Dolev-Strong bSM");
     }
 }

@@ -5,7 +5,10 @@
 //! outputs, corrupted set, violations, slot count and per-party message accounting —
 //! byte for byte. Every scaling PR (sharding, batching, async backends) must keep this
 //! property, so these tests lock it in at both the `bsm-core` harness level and the
-//! raw `bsm-net` simulator level.
+//! raw `bsm-net` simulator level. The campaign-level extension — same campaign ⇒
+//! byte-identical aggregated exports at any worker-thread count — lives in
+//! `crates/engine/tests/campaign_determinism.rs` (the engine depends on this crate,
+//! not the other way around).
 
 use bsm_broadcast::{DolevStrong, DolevStrongConfig};
 use bsm_core::harness::{AdversarySpec, Scenario, ScenarioOutcome};

@@ -76,6 +76,9 @@ impl std::error::Error for VerifyError {}
 struct Registry {
     /// Set of (signer, digest) pairs that were actually signed via a [`SigningKey`].
     signed: HashSet<(KeyId, Digest)>,
+    /// Total number of [`SigningKey::sign`] calls against this registry (repeat
+    /// signatures over the same content count every time).
+    issued: u64,
 }
 
 /// A simulated public key infrastructure with idealized unforgeable signatures.
@@ -120,6 +123,14 @@ impl Pki {
         } else {
             None
         }
+    }
+
+    /// Total number of signing operations performed with keys of this directory.
+    ///
+    /// The cost experiments read this before and after a run to report how many
+    /// signatures a protocol execution actually produced.
+    pub fn signatures_issued(&self) -> u64 {
+        self.registry.read().expect("registry lock is never poisoned").issued
     }
 
     /// Verifies that `signature` is a valid signature by `signature.signer()` over
@@ -172,6 +183,7 @@ impl SigningKey {
     pub fn sign(&self, digest: Digest) -> Signature {
         let mut registry = self.registry.write().expect("registry lock is never poisoned");
         registry.signed.insert((self.id, digest));
+        registry.issued += 1;
         Signature { signer: self.id, digest, tag: expected_tag(self.id, digest) }
     }
 }
@@ -269,6 +281,20 @@ mod tests {
         let directory = pki.clone();
         let sig = pki.signing_key(1).unwrap().sign(Digest::of_bytes(b"shared"));
         assert!(directory.verify(&sig, Digest::of_bytes(b"shared")));
+    }
+
+    #[test]
+    fn signature_counter_counts_every_sign_call() {
+        let pki = Pki::new(2);
+        assert_eq!(pki.signatures_issued(), 0);
+        let key = pki.signing_key(0).unwrap();
+        let digest = Digest::of_bytes(b"counted");
+        key.sign(digest);
+        key.sign(digest); // repeat signatures over the same content still count
+        pki.signing_key(1).unwrap().sign(Digest::of_bytes(b"other"));
+        assert_eq!(pki.signatures_issued(), 3);
+        // Clones observe the same counter.
+        assert_eq!(pki.clone().signatures_issued(), 3);
     }
 
     #[test]

@@ -1,0 +1,267 @@
+//! The campaign DSL: expand a parameter grid into an ordered work list of scenarios.
+//!
+//! A [`CampaignBuilder`] collects the values of every grid axis and expands their cross
+//! product into a [`Campaign`] — a `Vec<ScenarioSpec>` in the **canonical order**
+//! (size → topology → auth mode → corruption pair → adversary → seed). The canonical
+//! order is the contract that makes parallel execution deterministic: the executor
+//! merges results back into this order no matter which thread finishes first, so the
+//! aggregated report and its exports are bit-identical across thread counts.
+
+use crate::grid::ScenarioSpec;
+use bsm_core::harness::AdversarySpec;
+use bsm_core::problem::{AuthMode, Setting};
+use bsm_core::solvability::is_solvable;
+use bsm_net::Topology;
+use std::fmt;
+use std::ops::Range;
+
+/// An expanded, ordered work list of scenario cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Campaign {
+    specs: Vec<ScenarioSpec>,
+}
+
+impl Campaign {
+    /// Wraps an explicit work list, keeping the given order as canonical.
+    ///
+    /// This is the escape hatch for experiments whose cells do not form a cross
+    /// product (e.g. the cost tables, which pick one corruption budget per size).
+    pub fn from_specs(specs: Vec<ScenarioSpec>) -> Self {
+        Self { specs }
+    }
+
+    /// The cells in canonical order.
+    pub fn specs(&self) -> &[ScenarioSpec] {
+        &self.specs
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Returns `true` when the campaign has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+impl fmt::Display for Campaign {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "campaign of {} scenarios", self.specs.len())
+    }
+}
+
+/// Builder DSL for [`Campaign`]: set each grid axis, then [`build`](Self::build).
+///
+/// Defaults: sizes `[3]`, every topology, every auth mode, the single corruption pair
+/// `(0, 0)`, every adversary strategy, seeds `0..1`, unsolvable cells included.
+#[derive(Debug, Clone)]
+pub struct CampaignBuilder {
+    sizes: Vec<usize>,
+    topologies: Vec<Topology>,
+    auth_modes: Vec<AuthMode>,
+    corruptions: Vec<(usize, usize)>,
+    adversaries: Vec<AdversarySpec>,
+    seeds: Range<u64>,
+    skip_unsolvable: bool,
+}
+
+impl Default for CampaignBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CampaignBuilder {
+    /// Starts a builder with the default axes (see the type-level docs).
+    pub fn new() -> Self {
+        Self {
+            sizes: vec![3],
+            topologies: Topology::ALL.to_vec(),
+            auth_modes: AuthMode::ALL.to_vec(),
+            corruptions: vec![(0, 0)],
+            adversaries: AdversarySpec::ALL.to_vec(),
+            seeds: 0..1,
+            skip_unsolvable: false,
+        }
+    }
+
+    /// Market sizes to sweep (parties per side).
+    pub fn sizes(mut self, sizes: impl IntoIterator<Item = usize>) -> Self {
+        self.sizes = sizes.into_iter().collect();
+        self
+    }
+
+    /// Topologies to sweep.
+    pub fn topologies(mut self, topologies: impl IntoIterator<Item = Topology>) -> Self {
+        self.topologies = topologies.into_iter().collect();
+        self
+    }
+
+    /// Authentication modes to sweep.
+    pub fn auth_modes(mut self, modes: impl IntoIterator<Item = AuthMode>) -> Self {
+        self.auth_modes = modes.into_iter().collect();
+        self
+    }
+
+    /// Corruption pairs `(tL, tR)` to sweep. Pairs exceeding a size `k` are skipped
+    /// for that size during expansion (they would not form a valid [`Setting`]).
+    pub fn corruptions(mut self, pairs: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        self.corruptions = pairs.into_iter().collect();
+        self
+    }
+
+    /// Sweeps the full corruption square `(0..=max) × (0..=max)`.
+    pub fn corruption_grid(self, max: usize) -> Self {
+        let pairs: Vec<(usize, usize)> =
+            (0..=max).flat_map(|l| (0..=max).map(move |r| (l, r))).collect();
+        self.corruptions(pairs)
+    }
+
+    /// Byzantine strategies to sweep.
+    pub fn adversaries(mut self, adversaries: impl IntoIterator<Item = AdversarySpec>) -> Self {
+        self.adversaries = adversaries.into_iter().collect();
+        self
+    }
+
+    /// Seed range to sweep (one scenario per seed per cell).
+    pub fn seeds(mut self, seeds: Range<u64>) -> Self {
+        self.seeds = seeds;
+        self
+    }
+
+    /// Excludes cells whose setting Theorems 2–7 rule unsolvable. By default they are
+    /// kept and recorded as unsolvable in the report (useful for frontier maps).
+    pub fn skip_unsolvable(mut self, skip: bool) -> Self {
+        self.skip_unsolvable = skip;
+        self
+    }
+
+    /// Expands the cross product into a campaign, in canonical order:
+    /// size → topology → auth → corruption pair → adversary → seed.
+    ///
+    /// Corruption pairs that exceed the current size (no valid [`Setting`]) are
+    /// dropped; with [`skip_unsolvable`](Self::skip_unsolvable), provably unsolvable
+    /// cells are dropped too.
+    pub fn build(self) -> Campaign {
+        let mut specs = Vec::new();
+        for &k in &self.sizes {
+            for &topology in &self.topologies {
+                for &auth in &self.auth_modes {
+                    for &(t_l, t_r) in &self.corruptions {
+                        let Ok(setting) = Setting::new(k, topology, auth, t_l, t_r) else {
+                            continue;
+                        };
+                        if self.skip_unsolvable && !is_solvable(&setting) {
+                            continue;
+                        }
+                        for &adversary in &self.adversaries {
+                            for seed in self.seeds.clone() {
+                                specs.push(ScenarioSpec {
+                                    k,
+                                    topology,
+                                    auth,
+                                    t_l,
+                                    t_r,
+                                    adversary,
+                                    seed,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Campaign { specs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_builder_expands_all_defaults() {
+        let campaign = CampaignBuilder::new().build();
+        // 1 size × 3 topologies × 2 auth modes × 1 corruption pair × 3 adversaries × 1 seed.
+        assert_eq!(campaign.len(), 18);
+        assert!(!campaign.is_empty());
+        assert!(campaign.to_string().contains("18 scenarios"));
+    }
+
+    #[test]
+    fn expansion_follows_the_canonical_order() {
+        let campaign = CampaignBuilder::new()
+            .sizes([2, 3])
+            .topologies([Topology::Bipartite])
+            .auth_modes([AuthMode::Authenticated])
+            .corruptions([(0, 0)])
+            .adversaries([AdversarySpec::Crash])
+            .seeds(0..2)
+            .build();
+        let specs = campaign.specs();
+        assert_eq!(specs.len(), 4);
+        // Seeds vary fastest, sizes slowest.
+        assert_eq!((specs[0].k, specs[0].seed), (2, 0));
+        assert_eq!((specs[1].k, specs[1].seed), (2, 1));
+        assert_eq!((specs[2].k, specs[2].seed), (3, 0));
+        assert_eq!((specs[3].k, specs[3].seed), (3, 1));
+    }
+
+    #[test]
+    fn oversized_corruption_pairs_are_dropped_per_size() {
+        let campaign = CampaignBuilder::new()
+            .sizes([2, 4])
+            .topologies([Topology::FullyConnected])
+            .auth_modes([AuthMode::Authenticated])
+            .corruptions([(0, 0), (3, 3)])
+            .adversaries([AdversarySpec::Crash])
+            .build();
+        // (3, 3) is invalid at k = 2 but valid at k = 4.
+        assert_eq!(campaign.len(), 3);
+    }
+
+    #[test]
+    fn skip_unsolvable_prunes_the_grid() {
+        let all = CampaignBuilder::new()
+            .sizes([3])
+            .topologies([Topology::FullyConnected])
+            .auth_modes([AuthMode::Unauthenticated])
+            .corruptions([(1, 1)])
+            .adversaries([AdversarySpec::Crash])
+            .build();
+        assert_eq!(all.len(), 1); // kept, even though Theorem 2 rules it out
+        let pruned = CampaignBuilder::new()
+            .sizes([3])
+            .topologies([Topology::FullyConnected])
+            .auth_modes([AuthMode::Unauthenticated])
+            .corruptions([(1, 1)])
+            .adversaries([AdversarySpec::Crash])
+            .skip_unsolvable(true)
+            .build();
+        assert!(pruned.is_empty());
+    }
+
+    #[test]
+    fn corruption_grid_covers_the_square() {
+        let campaign = CampaignBuilder::new()
+            .sizes([4])
+            .topologies([Topology::FullyConnected])
+            .auth_modes([AuthMode::Authenticated])
+            .corruption_grid(1)
+            .adversaries([AdversarySpec::Crash])
+            .build();
+        let pairs: Vec<(usize, usize)> =
+            campaign.specs().iter().map(|s| (s.t_l, s.t_r)).collect();
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn from_specs_keeps_the_given_order() {
+        let campaign = CampaignBuilder::new().build();
+        let reversed: Vec<ScenarioSpec> = campaign.specs().iter().rev().copied().collect();
+        let explicit = Campaign::from_specs(reversed.clone());
+        assert_eq!(explicit.specs(), &reversed[..]);
+    }
+}

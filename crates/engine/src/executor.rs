@@ -1,0 +1,251 @@
+//! The multi-threaded campaign executor.
+//!
+//! Workers are `std::thread` scoped threads over a shared work queue (an atomic cursor
+//! into the campaign's canonical work list). Every result is keyed by its index in
+//! that list and merged back in canonical order after the workers join, so the
+//! aggregated [`CampaignReport`] — and everything exported from it — is **bit-identical
+//! regardless of the thread count** or of which worker happened to run which cell.
+//!
+//! The thread count comes from (in order of precedence) [`Executor::threads`], the
+//! `BSM_THREADS` environment variable, and the machine's available parallelism.
+
+use crate::campaign::Campaign;
+use crate::grid::ScenarioSpec;
+use crate::progress::Progress;
+use crate::report::{CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats};
+use bsm_core::solvability::{characterize, Solvability};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Name of the environment variable that overrides the default worker-thread count.
+pub const THREADS_ENV: &str = "BSM_THREADS";
+
+/// Runs campaigns (and arbitrary order-preserving parallel maps) on a worker pool.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    threads: usize,
+    progress: Progress,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Executor {
+    /// Creates an executor with the default thread count: `BSM_THREADS` when set to a
+    /// positive integer, otherwise the machine's available parallelism.
+    pub fn new() -> Self {
+        let threads = parse_threads(std::env::var(THREADS_ENV).ok().as_deref())
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()));
+        Self { threads, progress: Progress::Silent }
+    }
+
+    /// Overrides the worker-thread count (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the progress reporter (default: silent).
+    pub fn progress(mut self, progress: Progress) -> Self {
+        self.progress = progress;
+        self
+    }
+
+    /// The configured worker-thread count.
+    pub fn thread_count(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs every cell of `campaign` and aggregates the results in canonical order.
+    ///
+    /// Unsolvable cells are recorded (not errors); cells that fail to build or run are
+    /// recorded as failed. The returned [`ExecutionStats`] carries the wall-clock side
+    /// of the run and is intentionally not part of the deterministic report.
+    pub fn run(&self, campaign: &Campaign) -> (CampaignReport, ExecutionStats) {
+        let start = Instant::now();
+        let cells = self.map(campaign.specs().to_vec(), run_cell);
+        let stats = ExecutionStats {
+            threads: self.threads.min(campaign.len()).max(1),
+            scenarios: campaign.len(),
+            elapsed: start.elapsed(),
+        };
+        (CampaignReport::new(cells), stats)
+    }
+
+    /// Applies `f` to every item on the worker pool, returning the results **in input
+    /// order** (a deterministic parallel map).
+    ///
+    /// This is the engine's generic escape hatch: experiments whose jobs are not plain
+    /// scenarios (e.g. the tailored impossibility attacks) get the same parallelism and
+    /// ordering guarantee as campaigns.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let total = items.len();
+        if total == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(total).max(1);
+        // The shared work queue: an atomic cursor over the slotted items. Workers take
+        // the item at their claimed index; results keep the index so the merge below
+        // can restore canonical order no matter which worker finished first.
+        let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+        let cursor = AtomicUsize::new(0);
+        let done = AtomicUsize::new(0);
+        let start = Instant::now();
+        let f = &f;
+        let slots = &slots;
+        let cursor = &cursor;
+        let done = &done;
+        let progress = self.progress;
+
+        let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut local: Vec<(usize, R)> = Vec::new();
+                        loop {
+                            let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                            if idx >= total {
+                                break;
+                            }
+                            let item = slots[idx]
+                                .lock()
+                                .expect("work slot lock is never poisoned")
+                                .take()
+                                .expect("each slot is claimed exactly once");
+                            local.push((idx, f(item)));
+                            let finished = done.fetch_add(1, Ordering::Relaxed) + 1;
+                            progress.tick(finished, total, start);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker threads do not panic"))
+                .collect()
+        });
+        indexed.sort_unstable_by_key(|(idx, _)| *idx);
+        indexed.into_iter().map(|(_, r)| r).collect()
+    }
+}
+
+/// Runs one campaign cell: characterize, then execute the prescribed plan.
+fn run_cell(spec: ScenarioSpec) -> CellRecord {
+    let outcome = match spec.setting() {
+        Err(err) => CellOutcome::Failed { message: err.to_string() },
+        Ok(setting) => match characterize(&setting) {
+            Solvability::Unsolvable(imp) => CellOutcome::Unsolvable {
+                theorem: imp.theorem.to_string(),
+                reason: imp.reason,
+            },
+            Solvability::Solvable(plan) => match spec.build_scenario().and_then(|s| s.run_with_plan(plan)) {
+                Ok(run) => CellOutcome::Completed(CellStats {
+                    plan: run.plan,
+                    all_honest_decided: run.all_honest_decided,
+                    violations: run.violations.len(),
+                    slots: run.slots,
+                    messages: run.metrics.total_messages(),
+                    signatures: run.signatures,
+                }),
+                Err(err) => CellOutcome::Failed { message: err.to_string() },
+            },
+        },
+    };
+    CellRecord { spec, outcome }
+}
+
+/// Parses a `BSM_THREADS`-style value; `None` for unset, empty, zero or non-numeric.
+fn parse_threads(value: Option<&str>) -> Option<usize> {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n > 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignBuilder;
+    use bsm_core::harness::AdversarySpec;
+    use bsm_core::problem::AuthMode;
+    use bsm_net::Topology;
+
+    #[test]
+    fn parse_threads_accepts_positive_integers_only() {
+        assert_eq!(parse_threads(Some("4")), Some(4));
+        assert_eq!(parse_threads(Some(" 2 ")), Some(2));
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("-1")), None);
+        assert_eq!(parse_threads(Some("lots")), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(None), None);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let executor = Executor::new().threads(4);
+        let doubled = executor.map((0..100usize).collect(), |n| n * 2);
+        assert_eq!(doubled, (0..100usize).map(|n| n * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_on_empty_input_spawns_nothing() {
+        let executor = Executor::new().threads(8);
+        let out: Vec<usize> = executor.map(Vec::new(), |n: usize| n);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_is_clamped_and_reported() {
+        assert_eq!(Executor::new().threads(0).thread_count(), 1);
+        assert_eq!(Executor::new().threads(3).thread_count(), 3);
+    }
+
+    #[test]
+    fn campaign_reports_are_identical_across_thread_counts() {
+        let campaign = CampaignBuilder::new()
+            .sizes([2, 3])
+            .corruptions([(0, 0), (1, 1)])
+            .seeds(0..2)
+            .build();
+        let (serial, _) = Executor::new().threads(1).run(&campaign);
+        let (parallel, stats) = Executor::new().threads(4).run(&campaign);
+        assert_eq!(serial, parallel);
+        assert_eq!(stats.scenarios, campaign.len());
+    }
+
+    #[test]
+    fn run_cell_covers_all_three_outcomes() {
+        let solvable = ScenarioSpec {
+            k: 3,
+            topology: Topology::FullyConnected,
+            auth: AuthMode::Authenticated,
+            t_l: 1,
+            t_r: 1,
+            adversary: AdversarySpec::Lying,
+            seed: 4,
+        };
+        let record = run_cell(solvable);
+        let stats = record.outcome.stats().expect("solvable cell completes");
+        assert!(stats.messages > 0);
+        assert!(stats.signatures > 0);
+
+        let unsolvable = ScenarioSpec {
+            auth: AuthMode::Unauthenticated, ..solvable
+        };
+        assert!(matches!(
+            run_cell(unsolvable).outcome,
+            CellOutcome::Unsolvable { ref theorem, .. } if theorem == "Theorem 2"
+        ));
+
+        let invalid = ScenarioSpec { t_l: 99, ..solvable };
+        assert!(matches!(run_cell(invalid).outcome, CellOutcome::Failed { .. }));
+    }
+}

@@ -1,0 +1,267 @@
+//! Structured result export: hand-rolled JSON and CSV writers (no serde).
+//!
+//! Both writers are pure functions of a [`CampaignReport`]: key order, number
+//! formatting and row order are all fixed, so two runs of the same campaign — with any
+//! thread counts — export byte-identical documents. Timing data never appears here by
+//! construction (it lives in [`crate::report::ExecutionStats`]).
+
+use crate::report::{CampaignReport, CellOutcome, CellRecord};
+use std::fmt::Write as _;
+
+/// Escapes a string for inclusion in a JSON document (quotes, backslashes, control
+/// characters; non-ASCII passes through as UTF-8).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Quotes a CSV field when it contains a delimiter, quote or newline (RFC 4180 style).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Writes the common JSON key/value pairs of one cell's coordinates.
+fn spec_json(record: &CellRecord) -> String {
+    let s = &record.spec;
+    format!(
+        "\"k\": {}, \"topology\": \"{}\", \"auth\": \"{}\", \"t_l\": {}, \"t_r\": {}, \
+         \"adversary\": \"{}\", \"seed\": {}",
+        s.k, s.topology, s.auth, s.t_l, s.t_r, s.adversary, s.seed
+    )
+}
+
+/// Renders a campaign report as a pretty-printed JSON document.
+///
+/// Layout: a `totals` object with the aggregate counters, then a `cells` array with
+/// one object per cell in canonical order. Cell objects always carry the grid
+/// coordinates and a `status`; completed cells add the outcome stats, unsolvable cells
+/// the theorem and reason, failed cells the error message.
+pub fn to_json(report: &CampaignReport) -> String {
+    let totals = report.totals();
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"totals\": {{\"scenarios\": {}, \"completed\": {}, \"solved_clean\": {}, \
+         \"unsolvable\": {}, \"failed\": {}, \"violations\": {}, \"slots\": {}, \
+         \"messages\": {}, \"signatures\": {}}},",
+        totals.scenarios,
+        totals.completed,
+        totals.solved_clean,
+        totals.unsolvable,
+        totals.failed,
+        totals.violations,
+        totals.slots,
+        totals.messages,
+        totals.signatures
+    );
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in report.cells().iter().enumerate() {
+        let tail = match &cell.outcome {
+            CellOutcome::Completed(stats) => format!(
+                "\"plan\": \"{}\", \"all_honest_decided\": {}, \"violations\": {}, \
+                 \"slots\": {}, \"messages\": {}, \"signatures\": {}",
+                json_escape(&stats.plan.to_string()),
+                stats.all_honest_decided,
+                stats.violations,
+                stats.slots,
+                stats.messages,
+                stats.signatures
+            ),
+            CellOutcome::Unsolvable { theorem, reason } => format!(
+                "\"theorem\": \"{}\", \"reason\": \"{}\"",
+                json_escape(theorem),
+                json_escape(reason)
+            ),
+            CellOutcome::Failed { message } => {
+                format!("\"message\": \"{}\"", json_escape(message))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "    {{{}, \"status\": \"{}\", {}}}{}",
+            spec_json(cell),
+            cell.outcome.status(),
+            tail,
+            if i + 1 == report.cells().len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// The CSV header row shared by every export.
+pub const CSV_HEADER: &str =
+    "k,topology,auth,t_l,t_r,adversary,seed,status,plan,all_honest_decided,violations,slots,messages,signatures,detail";
+
+/// Renders a campaign report as CSV: [`CSV_HEADER`] then one row per cell in
+/// canonical order. Outcome-specific columns are left empty when they do not apply;
+/// `detail` carries the impossibility theorem/reason or the failure message.
+pub fn to_csv(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str(CSV_HEADER);
+    out.push('\n');
+    for cell in report.cells() {
+        let s = &cell.spec;
+        let (plan, decided, violations, slots, messages, signatures, detail) =
+            match &cell.outcome {
+                CellOutcome::Completed(stats) => (
+                    stats.plan.to_string(),
+                    stats.all_honest_decided.to_string(),
+                    stats.violations.to_string(),
+                    stats.slots.to_string(),
+                    stats.messages.to_string(),
+                    stats.signatures.to_string(),
+                    String::new(),
+                ),
+                CellOutcome::Unsolvable { theorem, reason } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    format!("{theorem}: {reason}"),
+                ),
+                CellOutcome::Failed { message } => (
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    String::new(),
+                    message.clone(),
+                ),
+            };
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            s.k,
+            csv_field(&s.topology.to_string()),
+            csv_field(&s.auth.to_string()),
+            s.t_l,
+            s.t_r,
+            csv_field(&s.adversary.to_string()),
+            s.seed,
+            cell.outcome.status(),
+            csv_field(&plan),
+            decided,
+            violations,
+            slots,
+            messages,
+            signatures,
+            csv_field(&detail)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignBuilder;
+    use crate::executor::Executor;
+    use crate::grid::ScenarioSpec;
+    use crate::report::{CellRecord, CellStats};
+    use bsm_core::harness::AdversarySpec;
+    use bsm_core::problem::AuthMode;
+    use bsm_core::solvability::ProtocolPlan;
+    use bsm_net::Topology;
+    use bsm_matching::Side;
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_characters() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        // Non-ASCII (the ΠbSM plan name) passes through unescaped.
+        assert_eq!(json_escape("ΠbSM"), "ΠbSM");
+    }
+
+    #[test]
+    fn csv_fields_are_quoted_only_when_needed() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
+    }
+
+    #[test]
+    fn exports_cover_every_outcome_shape() {
+        let spec = ScenarioSpec {
+            k: 3,
+            topology: Topology::Bipartite,
+            auth: AuthMode::Authenticated,
+            t_l: 0,
+            t_r: 3,
+            adversary: AdversarySpec::Lying,
+            seed: 1,
+        };
+        let cells = vec![
+            CellRecord {
+                spec,
+                outcome: CellOutcome::Completed(CellStats {
+                    plan: ProtocolPlan::BipartiteAuthLocal { committee_side: Side::Left },
+                    all_honest_decided: true,
+                    violations: 0,
+                    slots: 9,
+                    messages: 42,
+                    signatures: 17,
+                }),
+            },
+            CellRecord {
+                spec,
+                outcome: CellOutcome::Unsolvable {
+                    theorem: "Theorem 6".into(),
+                    reason: "both sides too corrupt".into(),
+                },
+            },
+            CellRecord { spec, outcome: CellOutcome::Failed { message: "sim, error".into() } },
+        ];
+        let report = CampaignReport::new(cells);
+
+        let json = to_json(&report);
+        assert!(json.contains("\"scenarios\": 3"), "{json}");
+        assert!(json.contains("\"status\": \"completed\""));
+        assert!(json.contains("\"theorem\": \"Theorem 6\""));
+        assert!(json.contains("\"message\": \"sim, error\""));
+        assert!(json.contains("ΠbSM"));
+
+        let csv = to_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], CSV_HEADER);
+        assert!(lines[1].starts_with("3,bipartite,authenticated,0,3,lying,1,completed,"));
+        assert!(lines[2].contains("unsolvable"));
+        assert!(lines[3].contains("\"sim, error\""), "{csv}");
+        // Every row has the same column count (quotes respected).
+        assert!(lines[1].matches(',').count() >= CSV_HEADER.matches(',').count());
+    }
+
+    #[test]
+    fn export_is_identical_across_thread_counts() {
+        let campaign = CampaignBuilder::new().sizes([3]).corruptions([(1, 0)]).build();
+        let (one, _) = Executor::new().threads(1).run(&campaign);
+        let (four, _) = Executor::new().threads(4).run(&campaign);
+        assert_eq!(to_json(&one), to_json(&four));
+        assert_eq!(to_csv(&one), to_csv(&four));
+    }
+}

@@ -1,0 +1,138 @@
+//! Grid coordinates: one fully specified scenario per cell of a campaign grid.
+//!
+//! A [`ScenarioSpec`] is the engine's unit of work. It pins every axis a campaign can
+//! vary — market size, topology, authentication, per-side corruption counts, byzantine
+//! strategy and seed — so that a cell can be rebuilt (and re-run) from its coordinates
+//! alone, on any worker thread, and the aggregated results can be merged in the
+//! canonical grid order regardless of the order the threads finish in.
+
+use bsm_core::harness::{AdversarySpec, HarnessError, Scenario, ScenarioOutcome};
+use bsm_core::problem::{AuthMode, Setting, SettingError};
+use bsm_net::Topology;
+use std::fmt;
+
+/// The coordinates of one campaign cell.
+///
+/// `ScenarioSpec` is `Copy`: moving a cell to a worker thread costs a few machine
+/// words, and the expensive state (preference profile, PKI, runtimes) is built inside
+/// the worker from the seed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ScenarioSpec {
+    /// Market size (parties per side).
+    pub k: usize,
+    /// Communication topology.
+    pub topology: Topology,
+    /// Cryptographic assumptions.
+    pub auth: AuthMode,
+    /// Number of corrupted left-side parties (also the budget `tL`).
+    pub t_l: usize,
+    /// Number of corrupted right-side parties (also the budget `tR`).
+    pub t_r: usize,
+    /// Byzantine strategy of the corrupted parties.
+    pub adversary: AdversarySpec,
+    /// Seed for profile generation and randomized adversaries.
+    pub seed: u64,
+}
+
+impl ScenarioSpec {
+    /// The [`Setting`] these coordinates describe.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`SettingError`] for out-of-range coordinates
+    /// (`k == 0`, or a corruption count exceeding `k`).
+    pub fn setting(&self) -> Result<Setting, SettingError> {
+        Setting::new(self.k, self.topology, self.auth, self.t_l, self.t_r)
+    }
+
+    /// Builds the runnable scenario for this cell.
+    ///
+    /// The corrupted parties are the `t_l` highest-indexed left parties and the `t_r`
+    /// highest-indexed right parties — the same "boundary" convention the experiment
+    /// binaries use, so a cell exercises its full corruption budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SettingError`] (wrapped by the harness) and harness build errors.
+    pub fn build_scenario(&self) -> Result<Scenario, HarnessError> {
+        let setting = self.setting()?;
+        let k = self.k as u32;
+        let left: Vec<u32> = (0..k).rev().take(self.t_l).collect();
+        let right: Vec<u32> = (0..k).rev().take(self.t_r).collect();
+        Scenario::builder(setting)
+            .seed(self.seed)
+            .corrupt_left(left)
+            .corrupt_right(right)
+            .adversary(self.adversary)
+            .build()
+    }
+
+    /// Builds and runs the scenario with the plan prescribed by the solvability
+    /// characterization.
+    ///
+    /// # Errors
+    ///
+    /// Propagates build and run errors, including [`HarnessError::Unsolvable`].
+    pub fn run(&self) -> Result<ScenarioOutcome, HarnessError> {
+        self.build_scenario()?.run()
+    }
+}
+
+impl fmt::Display for ScenarioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "k={} {} {} tL={} tR={} {} seed={}",
+            self.k, self.topology, self.auth, self.t_l, self.t_r, self.adversary, self.seed
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            k: 3,
+            topology: Topology::FullyConnected,
+            auth: AuthMode::Authenticated,
+            t_l: 1,
+            t_r: 1,
+            adversary: AdversarySpec::Crash,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn spec_builds_a_boundary_scenario() {
+        let scenario = spec().build_scenario().unwrap();
+        assert_eq!(scenario.setting().k(), 3);
+        assert_eq!(scenario.corrupted().len(), 2);
+        // Highest indices are corrupted.
+        assert!(scenario.corrupted().contains(&bsm_net::PartyId::left(2)));
+        assert!(scenario.corrupted().contains(&bsm_net::PartyId::right(2)));
+    }
+
+    #[test]
+    fn spec_runs_clean_on_a_solvable_cell() {
+        let outcome = spec().run().unwrap();
+        assert!(outcome.violations.is_empty());
+        assert!(outcome.all_honest_decided);
+    }
+
+    #[test]
+    fn invalid_coordinates_surface_as_setting_errors() {
+        let bad = ScenarioSpec { t_l: 9, ..spec() };
+        assert!(bad.setting().is_err());
+        assert!(bad.build_scenario().is_err());
+    }
+
+    #[test]
+    fn display_names_every_axis() {
+        let rendered = spec().to_string();
+        for needle in ["k=3", "fully-connected", "authenticated", "tL=1", "tR=1", "crash", "seed=7"] {
+            assert!(rendered.contains(needle), "missing {needle} in {rendered}");
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `bsm-engine` — the parallel scenario-campaign engine.
+//!
+//! The paper's claims are empirical over a *grid* of settings; this crate turns the
+//! deterministic [`bsm_core`] scenario harness into a throughput machine for sweeping
+//! that grid:
+//!
+//! * [`grid`] — [`ScenarioSpec`]: the coordinates of one campaign cell, rebuildable
+//!   (and re-runnable) on any worker thread,
+//! * [`campaign`] — the [`CampaignBuilder`] DSL: expand sizes × topologies × auth
+//!   modes × corruption pairs × adversaries × seeds into an ordered work list,
+//! * [`executor`] — scoped worker threads over a shared work queue (`BSM_THREADS`
+//!   or [`Executor::threads`]); results are keyed by grid coordinates and merged in
+//!   canonical order, so aggregation is **bit-identical across thread counts**,
+//! * [`report`] — [`CampaignReport`]: per-cell outcome stats (plan, violations,
+//!   slots, messages, signatures) plus aggregate [`Totals`]; wall-clock throughput
+//!   lives in the separate [`ExecutionStats`],
+//! * [`export`] — hand-rolled JSON and CSV writers (no serde) whose output is a pure
+//!   function of the report,
+//! * [`progress`] — an optional scenarios/sec + ETA reporter on stderr.
+//!
+//! # Quickstart
+//!
+//! ```rust
+//! use bsm_engine::{CampaignBuilder, Executor};
+//!
+//! let campaign = CampaignBuilder::new()
+//!     .sizes([3, 4])
+//!     .corruptions([(0, 0), (1, 1)])
+//!     .seeds(0..3)
+//!     .build();
+//! let (report, stats) = Executor::new().threads(2).run(&campaign);
+//! assert_eq!(report.totals().scenarios, campaign.len());
+//! assert_eq!(stats.scenarios, campaign.len());
+//! // Same campaign, different thread count: bit-identical export.
+//! let (again, _) = Executor::new().threads(1).run(&campaign);
+//! assert_eq!(bsm_engine::export::to_json(&report), bsm_engine::export::to_json(&again));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod executor;
+pub mod export;
+pub mod grid;
+pub mod progress;
+pub mod report;
+
+pub use campaign::{Campaign, CampaignBuilder};
+pub use executor::{Executor, THREADS_ENV};
+pub use export::{to_csv, to_json};
+pub use grid::ScenarioSpec;
+pub use progress::Progress;
+pub use report::{CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats, Totals};
+
+// Campaign-friendliness audit: everything the executor moves across worker threads
+// must be Send + Sync. Failing this compiles-time check means a core type regressed
+// (e.g. an Rc sneaked into the harness).
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<bsm_core::problem::Setting>();
+    assert_send_sync::<bsm_core::harness::Scenario>();
+    assert_send_sync::<bsm_core::harness::ScenarioOutcome>();
+    assert_send_sync::<ScenarioSpec>();
+    assert_send_sync::<Campaign>();
+    assert_send_sync::<CellRecord>();
+    assert_send_sync::<CampaignReport>();
+};

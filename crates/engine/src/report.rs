@@ -1,0 +1,286 @@
+//! Deterministic aggregation of campaign results.
+//!
+//! A [`CampaignReport`] holds one [`CellRecord`] per campaign cell, in the campaign's
+//! canonical order, plus aggregate [`Totals`] derived from them. Everything in the
+//! report is a pure function of the campaign definition — wall-clock timing and thread
+//! counts live in [`ExecutionStats`], which is deliberately kept *outside* the report
+//! so that exports stay bit-identical across thread counts and machines.
+
+use crate::grid::ScenarioSpec;
+use bsm_core::solvability::ProtocolPlan;
+use std::fmt;
+use std::time::Duration;
+
+/// What happened when one cell was run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// The prescribed protocol ran to completion (possibly with property violations —
+    /// those are data, not errors).
+    Completed(CellStats),
+    /// Theorems 2–7 rule the setting unsolvable; nothing was run.
+    Unsolvable {
+        /// The theorem establishing the impossibility.
+        theorem: String,
+        /// The violated condition, human-readable.
+        reason: String,
+    },
+    /// The cell could not be built or run (invalid coordinates, simulator error).
+    Failed {
+        /// The error message.
+        message: String,
+    },
+}
+
+impl CellOutcome {
+    /// Short status keyword used in exports (`completed` / `unsolvable` / `failed`).
+    pub fn status(&self) -> &'static str {
+        match self {
+            CellOutcome::Completed(_) => "completed",
+            CellOutcome::Unsolvable { .. } => "unsolvable",
+            CellOutcome::Failed { .. } => "failed",
+        }
+    }
+
+    /// The stats, when the cell completed.
+    pub fn stats(&self) -> Option<&CellStats> {
+        match self {
+            CellOutcome::Completed(stats) => Some(stats),
+            _ => None,
+        }
+    }
+}
+
+/// Per-cell outcome statistics for a completed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellStats {
+    /// The protocol plan that was executed.
+    pub plan: ProtocolPlan,
+    /// Whether every honest party decided within the slot budget.
+    pub all_honest_decided: bool,
+    /// Number of bSM property violations (0 = the run satisfies Definition 1).
+    pub violations: usize,
+    /// Simulated slots ("rounds" at topology granularity).
+    pub slots: u64,
+    /// Messages accepted into the network (honest + byzantine).
+    pub messages: u64,
+    /// Signatures produced during the run.
+    pub signatures: u64,
+}
+
+/// One campaign cell: its grid coordinates plus what happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellRecord {
+    /// The coordinates the cell was built from.
+    pub spec: ScenarioSpec,
+    /// The result.
+    pub outcome: CellOutcome,
+}
+
+/// Aggregate counters over a whole campaign.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Totals {
+    /// Number of cells in the campaign.
+    pub scenarios: usize,
+    /// Cells whose protocol ran to completion.
+    pub completed: usize,
+    /// Completed cells with zero violations and all honest parties decided.
+    pub solved_clean: usize,
+    /// Cells ruled unsolvable by the characterization.
+    pub unsolvable: usize,
+    /// Cells that failed to build or run.
+    pub failed: usize,
+    /// Total property violations across completed cells.
+    pub violations: usize,
+    /// Total simulated slots across completed cells.
+    pub slots: u64,
+    /// Total messages across completed cells.
+    pub messages: u64,
+    /// Total signatures across completed cells.
+    pub signatures: u64,
+}
+
+impl fmt::Display for Totals {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scenarios: {} completed ({} clean), {} unsolvable, {} failed, \
+             {} violations, {} slots, {} messages, {} signatures",
+            self.scenarios,
+            self.completed,
+            self.solved_clean,
+            self.unsolvable,
+            self.failed,
+            self.violations,
+            self.slots,
+            self.messages,
+            self.signatures
+        )
+    }
+}
+
+/// The aggregated result of one campaign run, in canonical cell order.
+///
+/// The report is a pure function of the campaign definition: running the same campaign
+/// with any number of worker threads produces an identical (`==`, and byte-identical
+/// once exported) report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignReport {
+    cells: Vec<CellRecord>,
+    totals: Totals,
+}
+
+impl CampaignReport {
+    /// Builds a report from per-cell records already in canonical order.
+    pub fn new(cells: Vec<CellRecord>) -> Self {
+        let mut totals = Totals { scenarios: cells.len(), ..Totals::default() };
+        for cell in &cells {
+            match &cell.outcome {
+                CellOutcome::Completed(stats) => {
+                    totals.completed += 1;
+                    if stats.violations == 0 && stats.all_honest_decided {
+                        totals.solved_clean += 1;
+                    }
+                    totals.violations += stats.violations;
+                    totals.slots += stats.slots;
+                    totals.messages += stats.messages;
+                    totals.signatures += stats.signatures;
+                }
+                CellOutcome::Unsolvable { .. } => totals.unsolvable += 1,
+                CellOutcome::Failed { .. } => totals.failed += 1,
+            }
+        }
+        Self { cells, totals }
+    }
+
+    /// The per-cell records, in canonical order.
+    pub fn cells(&self) -> &[CellRecord] {
+        &self.cells
+    }
+
+    /// The aggregate counters.
+    pub fn totals(&self) -> Totals {
+        self.totals
+    }
+}
+
+/// Wall-clock statistics of one executor run. Kept separate from [`CampaignReport`] so
+/// exports stay deterministic.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecutionStats {
+    /// Worker threads used.
+    pub threads: usize,
+    /// Scenarios executed.
+    pub scenarios: usize,
+    /// Total wall-clock time.
+    pub elapsed: Duration,
+}
+
+impl ExecutionStats {
+    /// Scenarios per second (0 when nothing ran or time was unmeasurably short).
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.scenarios as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for ExecutionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} scenarios in {:.2?} on {} thread{} ({:.1} scenarios/sec)",
+            self.scenarios,
+            self.elapsed,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" },
+            self.throughput()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bsm_core::harness::AdversarySpec;
+    use bsm_core::problem::AuthMode;
+    use bsm_net::Topology;
+
+    fn spec() -> ScenarioSpec {
+        ScenarioSpec {
+            k: 3,
+            topology: Topology::FullyConnected,
+            auth: AuthMode::Authenticated,
+            t_l: 0,
+            t_r: 0,
+            adversary: AdversarySpec::Crash,
+            seed: 0,
+        }
+    }
+
+    fn completed(violations: usize) -> CellRecord {
+        CellRecord {
+            spec: spec(),
+            outcome: CellOutcome::Completed(CellStats {
+                plan: ProtocolPlan::DolevStrongBsm,
+                all_honest_decided: true,
+                violations,
+                slots: 10,
+                messages: 100,
+                signatures: 5,
+            }),
+        }
+    }
+
+    #[test]
+    fn totals_aggregate_by_outcome() {
+        let cells = vec![
+            completed(0),
+            completed(2),
+            CellRecord {
+                spec: spec(),
+                outcome: CellOutcome::Unsolvable { theorem: "Theorem 2".into(), reason: "x".into() },
+            },
+            CellRecord {
+                spec: spec(),
+                outcome: CellOutcome::Failed { message: "boom".into() },
+            },
+        ];
+        let report = CampaignReport::new(cells);
+        let totals = report.totals();
+        assert_eq!(totals.scenarios, 4);
+        assert_eq!(totals.completed, 2);
+        assert_eq!(totals.solved_clean, 1);
+        assert_eq!(totals.unsolvable, 1);
+        assert_eq!(totals.failed, 1);
+        assert_eq!(totals.violations, 2);
+        assert_eq!(totals.slots, 20);
+        assert_eq!(totals.messages, 200);
+        assert_eq!(totals.signatures, 10);
+        assert!(totals.to_string().contains("4 scenarios"));
+        assert_eq!(report.cells().len(), 4);
+    }
+
+    #[test]
+    fn outcome_status_and_stats() {
+        assert_eq!(completed(0).outcome.status(), "completed");
+        assert!(completed(0).outcome.stats().is_some());
+        let unsolvable =
+            CellOutcome::Unsolvable { theorem: "Theorem 3".into(), reason: "y".into() };
+        assert_eq!(unsolvable.status(), "unsolvable");
+        assert!(unsolvable.stats().is_none());
+        assert_eq!(CellOutcome::Failed { message: "m".into() }.status(), "failed");
+    }
+
+    #[test]
+    fn throughput_is_scenarios_per_second() {
+        let stats =
+            ExecutionStats { threads: 2, scenarios: 100, elapsed: Duration::from_secs(4) };
+        assert!((stats.throughput() - 25.0).abs() < 1e-9);
+        assert!(stats.to_string().contains("2 threads"));
+        let zero = ExecutionStats { threads: 1, scenarios: 0, elapsed: Duration::ZERO };
+        assert_eq!(zero.throughput(), 0.0);
+    }
+}

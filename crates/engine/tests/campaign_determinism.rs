@@ -1,0 +1,127 @@
+//! Campaign-level determinism regression tests.
+//!
+//! These extend the per-scenario replay guarantee of `crates/core/tests/determinism.rs`
+//! to the campaign level: a fixed campaign must produce **byte-identical** aggregated
+//! JSON and CSV exports no matter how many worker threads execute it. This is the
+//! engine's core contract — every scaling PR must keep it.
+
+use bsm_engine::export::{to_csv, to_json, CSV_HEADER};
+use bsm_engine::{CampaignBuilder, CellOutcome, Executor};
+use bsm_core::harness::AdversarySpec;
+use bsm_core::problem::AuthMode;
+use bsm_net::Topology;
+
+/// A fixed mixed campaign: solvable and unsolvable cells, every topology, both auth
+/// modes, all three adversary strategies, several seeds.
+fn fixed_campaign() -> bsm_engine::Campaign {
+    CampaignBuilder::new()
+        .sizes([2, 3])
+        .topologies(Topology::ALL)
+        .auth_modes(AuthMode::ALL)
+        .corruptions([(0, 0), (0, 1), (1, 1)])
+        .adversaries(AdversarySpec::ALL)
+        .seeds(0..2)
+        .build()
+}
+
+#[test]
+fn campaign_export_is_byte_identical_across_1_2_and_8_threads() {
+    let campaign = fixed_campaign();
+    assert!(campaign.len() > 100, "fixed campaign should be non-trivial");
+
+    let (reference, stats) = Executor::new().threads(1).run(&campaign);
+    assert_eq!(stats.threads, 1);
+    let reference_json = to_json(&reference);
+    let reference_csv = to_csv(&reference);
+
+    for threads in [2usize, 8] {
+        let (report, stats) = Executor::new().threads(threads).run(&campaign);
+        assert_eq!(report, reference, "report diverged at {threads} threads");
+        assert_eq!(
+            to_json(&report),
+            reference_json,
+            "JSON export diverged at {threads} threads"
+        );
+        assert_eq!(
+            to_csv(&report),
+            reference_csv,
+            "CSV export diverged at {threads} threads"
+        );
+        assert_eq!(stats.scenarios, campaign.len());
+    }
+}
+
+#[test]
+fn campaign_results_key_back_to_their_grid_coordinates() {
+    let campaign = fixed_campaign();
+    let (report, _) = Executor::new().threads(8).run(&campaign);
+    // The merged records are exactly the campaign's cells, in canonical order.
+    assert_eq!(report.cells().len(), campaign.len());
+    for (record, spec) in report.cells().iter().zip(campaign.specs()) {
+        assert_eq!(&record.spec, spec);
+    }
+}
+
+#[test]
+fn campaign_totals_are_consistent_with_cells() {
+    let campaign = fixed_campaign();
+    let (report, _) = Executor::new().threads(4).run(&campaign);
+    let totals = report.totals();
+    assert_eq!(totals.scenarios, campaign.len());
+    assert_eq!(
+        totals.completed + totals.unsolvable + totals.failed,
+        totals.scenarios,
+        "every cell is exactly one of completed/unsolvable/failed"
+    );
+    // No cell in this grid has invalid coordinates, so nothing may fail.
+    assert_eq!(totals.failed, 0);
+    // The grid crosses solvable and unsolvable regions.
+    assert!(totals.completed > 0);
+    assert!(totals.unsolvable > 0);
+    // Authenticated cells sign; the totals must see it.
+    assert!(totals.signatures > 0);
+    let violations: usize = report
+        .cells()
+        .iter()
+        .filter_map(|c| c.outcome.stats())
+        .map(|s| s.violations)
+        .sum();
+    assert_eq!(totals.violations, violations);
+}
+
+#[test]
+fn solvable_cells_run_clean_under_every_strategy() {
+    // The characterization says these cells are solvable; the engine's runs must
+    // confirm it (zero violations, everyone decides) for all three adversaries.
+    let campaign = CampaignBuilder::new()
+        .sizes([3])
+        .topologies(Topology::ALL)
+        .auth_modes(AuthMode::ALL)
+        .corruptions([(0, 1), (1, 0), (1, 1)])
+        .adversaries(AdversarySpec::ALL)
+        .seeds(0..3)
+        .skip_unsolvable(true)
+        .build();
+    let (report, _) = Executor::new().threads(4).run(&campaign);
+    for record in report.cells() {
+        match &record.outcome {
+            CellOutcome::Completed(stats) => {
+                assert_eq!(stats.violations, 0, "violations at {}", record.spec);
+                assert!(stats.all_honest_decided, "undecided honest party at {}", record.spec);
+            }
+            other => panic!("expected completed at {}, got {other:?}", record.spec),
+        }
+    }
+}
+
+#[test]
+fn exports_have_one_row_per_cell() {
+    let campaign = fixed_campaign();
+    let (report, _) = Executor::new().threads(2).run(&campaign);
+    let csv = to_csv(&report);
+    let lines: Vec<&str> = csv.lines().collect();
+    assert_eq!(lines[0], CSV_HEADER);
+    assert_eq!(lines.len(), 1 + campaign.len());
+    let json = to_json(&report);
+    assert_eq!(json.matches("\"status\"").count(), campaign.len());
+}

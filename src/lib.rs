@@ -8,7 +8,9 @@
 //! * [`net`] — the synchronous network simulator (topologies, adversary, faults),
 //! * [`broadcast`] — Dolev–Strong, phase-king, `ΠBA`/`ΠBB`, committee broadcast,
 //! * [`core`] — the byzantine stable matching problem, solvability characterization,
-//!   protocols, attacks and the scenario harness.
+//!   protocols, attacks and the scenario harness,
+//! * [`engine`] — the parallel scenario-campaign engine: grid expansion, a
+//!   multi-threaded executor with deterministic aggregation, and JSON/CSV export.
 //!
 //! # Quickstart
 //!
@@ -39,9 +41,13 @@
 pub use bsm_broadcast as broadcast;
 pub use bsm_core as core;
 pub use bsm_crypto as crypto;
+pub use bsm_engine as engine;
 pub use bsm_matching as matching;
 pub use bsm_net as net;
 
-pub use bsm_core::{characterize, check_bsm, AuthMode, Scenario, Setting, Solvability};
+pub use bsm_core::{
+    characterize, check_bsm, AdversarySpec, AuthMode, Scenario, Setting, Solvability,
+};
+pub use bsm_engine::{Campaign, CampaignBuilder, CampaignReport, Executor, ScenarioSpec};
 pub use bsm_matching::{Matching, PreferenceList, PreferenceProfile};
 pub use bsm_net::{PartyId, Side, Topology};
