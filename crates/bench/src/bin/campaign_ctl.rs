@@ -1,0 +1,142 @@
+//! `campaign_ctl` — run, merge and diff sharded campaigns from the command line.
+//!
+//! The process-level face of the engine's distributed-campaign layer:
+//!
+//! ```sh
+//! # One process per shard (any machines, any thread counts):
+//! campaign_ctl run --smoke --shard 1/3 --out shards/1
+//! campaign_ctl run --smoke --shard 2/3 --out shards/2
+//! campaign_ctl run --smoke --shard 3/3 --out shards/3
+//!
+//! # Recombine the shard exports; byte-identical to an unsharded run:
+//! campaign_ctl merge --out merged shards/1/report.json shards/2/report.json shards/3/report.json
+//!
+//! # Cell-level comparison of two runs (e.g. before/after a protocol change);
+//! # exits non-zero when any cell differs:
+//! campaign_ctl diff merged/report.json before/report.json
+//! ```
+//!
+//! `run` executes the standard campaign grid (`--smoke`: the small CI grid; default:
+//! the full ~1080-cell sweep — the same grids as `examples/campaign.rs`) and writes
+//! `report.json` + `report.csv` to `--out`. All flags come from [`bsm_bench::cli`].
+
+use bsm_bench::cli::BenchArgs;
+use bsm_core::harness::AdversarySpec;
+use bsm_engine::export::{to_csv, to_json};
+use bsm_engine::import::from_json;
+use bsm_engine::{Campaign, CampaignBuilder, CampaignDiff, CampaignReport, Progress};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// The standard campaign grids, mirrored by `examples/campaign.rs` — the CI gate
+/// cross-checks that both produce byte-identical exports.
+fn build_campaign(smoke: bool) -> Campaign {
+    if smoke {
+        // Small CI grid: 1 × 3 × 2 × 2 × 3 × 2 = 72 cells.
+        CampaignBuilder::new()
+            .sizes([3])
+            .corruptions([(0, 0), (1, 1)])
+            .adversaries(AdversarySpec::ALL)
+            .seeds(0..2)
+            .build()
+    } else {
+        // Full sweep: 3 × 3 × 2 × 4 × 3 × 5 = 1080 cells.
+        CampaignBuilder::new()
+            .sizes([3, 4, 5])
+            .corruptions([(0, 0), (0, 1), (1, 0), (1, 1)])
+            .adversaries(AdversarySpec::ALL)
+            .seeds(0..5)
+            .build()
+    }
+}
+
+/// Writes `report.json` and `report.csv` for `report` under `dir`.
+fn export_report(report: &CampaignReport, dir: &Path) -> Result<(), String> {
+    let json_path = dir.join("report.json");
+    let csv_path = dir.join("report.csv");
+    std::fs::create_dir_all(dir)
+        .and_then(|()| std::fs::write(&json_path, to_json(report)))
+        .and_then(|()| std::fs::write(&csv_path, to_csv(report)))
+        .map_err(|err| format!("cannot write to {}: {err}", dir.display()))?;
+    println!("exported {} and {}", json_path.display(), csv_path.display());
+    Ok(())
+}
+
+/// Reads and imports one exported `report.json`.
+fn import_report(path: &str) -> Result<CampaignReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+    from_json(&text).map_err(|err| format!("cannot import {path}: {err}"))
+}
+
+fn run(args: &BenchArgs) -> Result<(), String> {
+    let campaign = build_campaign(args.smoke);
+    let executor = args.executor().progress(Progress::Stderr { every: 250 });
+    let (report, stats) = match args.shard {
+        Some(plan) => {
+            eprintln!("running shard {plan} of {campaign}");
+            executor.run_shard(&campaign, plan)
+        }
+        None => {
+            eprintln!("running {campaign}");
+            executor.run(&campaign)
+        }
+    };
+    eprintln!("{stats}");
+    println!("totals: {}", report.totals());
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
+    export_report(&report, &out)
+}
+
+fn merge(args: &BenchArgs) -> Result<(), String> {
+    if args.files.is_empty() {
+        return Err("merge: no shard exports given (pass report.json paths)".into());
+    }
+    let shards = args.files.iter().map(|p| import_report(p)).collect::<Result<Vec<_>, _>>()?;
+    let merged = CampaignReport::merge(shards).map_err(|err| err.to_string())?;
+    println!("merged {} shard(s): {}", args.files.len(), merged.totals());
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl/merged"));
+    export_report(&merged, &out)
+}
+
+/// Returns `true` when the reports differ in any cell.
+fn diff(args: &BenchArgs) -> Result<bool, String> {
+    let [left, right] = args.files.as_slice() else {
+        return Err(format!(
+            "diff: expected exactly two report.json paths, got {}",
+            args.files.len()
+        ));
+    };
+    let diff = CampaignDiff::between(&import_report(left)?, &import_report(right)?);
+    print!("{diff}");
+    Ok(!diff.is_empty())
+}
+
+fn main() -> ExitCode {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    let subcommand = if raw.is_empty() { String::new() } else { raw.remove(0) };
+    let args = BenchArgs::from_args(raw);
+    // Strict CLI: a mistyped flag (e.g. `--shard 4/3`) must not silently fall back to
+    // an unsharded full run — in a CI or fleet context that wastes the whole campaign
+    // and can ship a wrong artifact with exit 0.
+    if !args.unknown.is_empty() {
+        eprintln!("campaign_ctl: invalid argument(s): {}", args.unknown.join(", "));
+        return ExitCode::FAILURE;
+    }
+    let result = match subcommand.as_str() {
+        "run" => run(&args).map(|()| false),
+        "merge" => merge(&args).map(|()| false),
+        "diff" => diff(&args),
+        other => Err(format!(
+            "unknown subcommand {other:?}; usage: campaign_ctl <run|merge|diff> \
+             [--smoke] [--shard I/K] [--threads N] [--out DIR] [report.json ...]"
+        )),
+    };
+    match result {
+        Ok(false) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::FAILURE, // diff found differing cells
+        Err(message) => {
+            eprintln!("campaign_ctl: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -122,7 +122,11 @@ fn main() {
         })
         .collect();
     let rows = run(&executor, specs).iter().map(|r| cost_row(r, false)).collect();
-    table("E8 — ΠbSM (Lemma 9), bipartite authenticated, fully byzantine right side", rows, &header);
+    table(
+        "E8 — ΠbSM (Lemma 9), bipartite authenticated, fully byzantine right side",
+        rows,
+        &header,
+    );
 
     // E11: ablation — Dolev-Strong vs committee broadcast at identical budgets in the
     // authenticated full mesh (both are valid plans there).

@@ -19,7 +19,13 @@ use bsm_engine::{Campaign, ScenarioSpec};
 use bsm_net::Topology;
 
 /// Returns `true` when the cell is solvable and increasing either budget is not.
-fn is_solvable_boundary(k: usize, topology: Topology, auth: AuthMode, t_l: usize, t_r: usize) -> bool {
+fn is_solvable_boundary(
+    k: usize,
+    topology: Topology,
+    auth: AuthMode,
+    t_l: usize,
+    t_r: usize,
+) -> bool {
     let solvable = |t_l: usize, t_r: usize| {
         Setting::new(k, topology, auth, t_l, t_r)
             .map(|s| characterize(&s).is_solvable())
@@ -34,7 +40,11 @@ fn main() {
     let executor = args.executor();
     // The thread count and throughput are wall-clock context, not results: stderr,
     // so stdout stays byte-identical across runs and machines.
-    eprintln!("[{} engine threads, {} seed(s) per boundary cell]", executor.thread_count(), args.seeds);
+    eprintln!(
+        "[{} engine threads, {} seed(s) per boundary cell]",
+        executor.thread_count(),
+        args.seeds
+    );
     println!("# E1 — solvability matrix and empirical verification (k = {k})\n");
 
     for auth in AuthMode::ALL {

@@ -4,12 +4,17 @@
 //! `std::env::args()` handling they used to carry individually:
 //!
 //! * a positional integer — the market size `k`,
+//! * other positionals — file paths (e.g. shard exports for `campaign_ctl merge`),
 //! * `--no-verify` — print analytic tables only, skip the empirical runs,
 //! * `--threads N` — worker threads for the campaign engine (overrides `BSM_THREADS`),
-//! * `--seeds N` — seeds per grid cell for seed-sweeping experiments.
+//! * `--seeds N` — seeds per grid cell for seed-sweeping experiments,
+//! * `--shard I/K` — run only shard `I` of `K` of the campaign (1-based),
+//! * `--out DIR` — output directory for exported artifacts,
+//! * `--smoke` — the small CI grid instead of the full sweep.
 
-use bsm_engine::Executor;
+use bsm_engine::{Executor, ShardPlan};
 use std::fmt;
+use std::path::PathBuf;
 
 /// Parsed command-line arguments shared by the experiment binaries.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -22,13 +27,32 @@ pub struct BenchArgs {
     pub threads: Option<usize>,
     /// Seeds per cell from `--seeds` (default 1).
     pub seeds: u64,
+    /// The shard to run from `--shard I/K` (1-based on the command line).
+    pub shard: Option<ShardPlan>,
+    /// Output directory from `--out`.
+    pub out: Option<PathBuf>,
+    /// `true` when `--smoke` was passed (run the small CI grid).
+    pub smoke: bool,
+    /// Non-numeric positional arguments, in order (file paths for subcommands that
+    /// consume exports, e.g. `campaign_ctl merge`/`diff`).
+    pub files: Vec<String>,
     /// Arguments that were not recognized (reported, then ignored).
     pub unknown: Vec<String>,
 }
 
 impl Default for BenchArgs {
     fn default() -> Self {
-        Self { k: None, verify: true, threads: None, seeds: 1, unknown: Vec::new() }
+        Self {
+            k: None,
+            verify: true,
+            threads: None,
+            seeds: 1,
+            shard: None,
+            out: None,
+            smoke: false,
+            files: Vec::new(),
+            unknown: Vec::new(),
+        }
     }
 }
 
@@ -41,21 +65,41 @@ impl BenchArgs {
     /// Parses an explicit argument list (testable core of [`BenchArgs::parse`]).
     pub fn from_args(args: impl IntoIterator<Item = String>) -> Self {
         let mut parsed = Self::default();
-        let mut iter = args.into_iter();
+        let mut iter = args.into_iter().peekable();
+        // The value of a `--flag VALUE` pair; never steals a following flag, so
+        // `--threads --smoke` reports a missing value instead of swallowing `--smoke`.
+        fn value(iter: &mut std::iter::Peekable<impl Iterator<Item = String>>) -> Option<String> {
+            match iter.peek() {
+                Some(next) if !next.starts_with("--") => iter.next(),
+                _ => None,
+            }
+        }
         while let Some(arg) = iter.next() {
             match arg.as_str() {
                 "--no-verify" => parsed.verify = false,
-                "--threads" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                "--threads" => match value(&mut iter).and_then(|v| v.parse::<usize>().ok()) {
                     Some(n) if n > 0 => parsed.threads = Some(n),
                     _ => parsed.unknown.push("--threads (expects a positive integer)".into()),
                 },
-                "--seeds" => match iter.next().and_then(|v| v.parse::<u64>().ok()) {
+                "--seeds" => match value(&mut iter).and_then(|v| v.parse::<u64>().ok()) {
                     Some(n) if n > 0 => parsed.seeds = n,
                     _ => parsed.unknown.push("--seeds (expects a positive integer)".into()),
                 },
+                "--shard" => match value(&mut iter).map(|v| (v.parse::<ShardPlan>(), v)) {
+                    Some((Ok(plan), _)) => parsed.shard = Some(plan),
+                    Some((Err(err), v)) => parsed.unknown.push(format!("--shard {v} ({err})")),
+                    None => parsed.unknown.push("--shard (expects I/K, e.g. 2/3)".into()),
+                },
+                "--out" => match value(&mut iter) {
+                    Some(dir) => parsed.out = Some(PathBuf::from(dir)),
+                    None => parsed.unknown.push("--out (expects a directory)".into()),
+                },
+                "--smoke" => parsed.smoke = true,
+                other if other.starts_with("--") => parsed.unknown.push(other.to_string()),
                 other => match other.parse::<usize>() {
                     Ok(k) if parsed.k.is_none() => parsed.k = Some(k),
-                    _ => parsed.unknown.push(other.to_string()),
+                    Ok(_) => parsed.unknown.push(other.to_string()),
+                    Err(_) => parsed.files.push(other.to_string()),
                 },
             }
         }
@@ -90,8 +134,14 @@ impl fmt::Display for BenchArgs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "k={:?} verify={} threads={:?} seeds={}",
-            self.k, self.verify, self.threads, self.seeds
+            "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} files={}",
+            self.k,
+            self.verify,
+            self.threads,
+            self.seeds,
+            self.shard.map_or_else(|| "none".to_string(), |p| p.to_string()),
+            self.smoke,
+            self.files.len()
         )
     }
 }
@@ -129,6 +179,42 @@ mod tests {
         let a = args(&["--threads", "2", "4"]);
         let b = args(&["4", "--threads", "2"]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn shard_out_smoke_and_files_parse() {
+        let parsed =
+            args(&["--shard", "2/3", "--out", "target/shards", "--smoke", "a.json", "b.json"]);
+        let plan = parsed.shard.expect("--shard 2/3 parses");
+        assert_eq!((plan.index(), plan.count()), (1, 3));
+        assert_eq!(parsed.out.as_deref(), Some(std::path::Path::new("target/shards")));
+        assert!(parsed.smoke);
+        assert_eq!(parsed.files, vec!["a.json".to_string(), "b.json".to_string()]);
+        assert!(parsed.unknown.is_empty());
+        assert!(parsed.to_string().contains("shard=2/3"));
+    }
+
+    #[test]
+    fn bad_shard_specs_are_collected_not_fatal() {
+        for bad in [&["--shard", "0/3"][..], &["--shard", "4/3"], &["--shard", "x"], &["--shard"]] {
+            let parsed = args(bad);
+            assert_eq!(parsed.shard, None, "{bad:?}");
+            assert_eq!(parsed.unknown.len(), 1, "{bad:?}");
+        }
+        assert_eq!(args(&["--out"]).unknown.len(), 1);
+    }
+
+    #[test]
+    fn a_flag_never_swallows_a_following_flag_as_its_value() {
+        let parsed = args(&["--threads", "--smoke", "--out", "--no-verify"]);
+        assert_eq!(parsed.threads, None);
+        assert!(parsed.smoke, "--smoke must survive a missing --threads value");
+        assert_eq!(parsed.out, None);
+        assert!(!parsed.verify, "--no-verify must survive a missing --out value");
+        assert_eq!(parsed.unknown.len(), 2, "{:?}", parsed.unknown);
+        let parsed = args(&["--shard", "--smoke"]);
+        assert_eq!(parsed.shard, None);
+        assert!(parsed.smoke);
     }
 
     #[test]

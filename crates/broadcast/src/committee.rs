@@ -27,7 +27,11 @@ impl Committee {
         members.sort_unstable();
         members.dedup();
         assert!(!members.is_empty(), "a committee must have at least one member");
-        assert!(t < members.len(), "corruption bound t = {t} must be below the committee size {}", members.len());
+        assert!(
+            t < members.len(),
+            "corruption bound t = {t} must be below the committee size {}",
+            members.len()
+        );
         Self { members, t }
     }
 
@@ -187,7 +191,11 @@ impl<V: Value> RoundProtocol for CommitteeBroadcast<V> {
     type Msg = CommitteeMsg<V>;
     type Output = V;
 
-    fn round(&mut self, round: u64, inbox: &[(PartyId, CommitteeMsg<V>)]) -> Vec<Outgoing<CommitteeMsg<V>>> {
+    fn round(
+        &mut self,
+        round: u64,
+        inbox: &[(PartyId, CommitteeMsg<V>)],
+    ) -> Vec<Outgoing<CommitteeMsg<V>>> {
         let me = self.config.me;
         let is_committee_member = self.config.committee.contains(me);
         let mut out = Vec::new();
@@ -226,15 +234,9 @@ impl<V: Value> RoundProtocol for CommitteeBroadcast<V> {
             if is_committee_member {
                 let king_round = round - Self::king_round_offset();
                 if king_round == 0 {
-                    let input = self
-                        .received_input
-                        .clone()
-                        .unwrap_or_else(|| self.config.default.clone());
-                    self.king = Some(PhaseKing::new(
-                        self.config.committee.clone(),
-                        me,
-                        input,
-                    ));
+                    let input =
+                        self.received_input.clone().unwrap_or_else(|| self.config.default.clone());
+                    self.king = Some(PhaseKing::new(self.config.committee.clone(), me, input));
                 }
                 let king_inbox: Vec<(PartyId, KingMsg<V>)> = inbox
                     .iter()

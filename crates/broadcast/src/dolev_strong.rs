@@ -79,15 +79,14 @@ impl<V: Value + Digestible> DolevStrong<V> {
     ///
     /// Panics if `me` or `sender` is missing from the participants/key map, if the
     /// signing key does not belong to `me`, or if the sender has no input.
-    pub fn new(config: DolevStrongConfig, signing_key: SigningKey, input: Option<V>, default: V) -> Self {
-        assert!(
-            config.participants.contains(&config.me),
-            "the local party must be a participant"
-        );
-        assert!(
-            config.participants.contains(&config.sender),
-            "the sender must be a participant"
-        );
+    pub fn new(
+        config: DolevStrongConfig,
+        signing_key: SigningKey,
+        input: Option<V>,
+        default: V,
+    ) -> Self {
+        assert!(config.participants.contains(&config.me), "the local party must be a participant");
+        assert!(config.participants.contains(&config.sender), "the sender must be a participant");
         assert!(
             config.key_of.contains_key(&config.me) && config.key_of.contains_key(&config.sender),
             "participants must have keys in the directory"
@@ -174,7 +173,11 @@ impl<V: Value + Digestible> RoundProtocol for DolevStrong<V> {
     type Msg = DolevStrongMsg<V>;
     type Output = V;
 
-    fn round(&mut self, round: u64, inbox: &[(PartyId, DolevStrongMsg<V>)]) -> Vec<Outgoing<DolevStrongMsg<V>>> {
+    fn round(
+        &mut self,
+        round: u64,
+        inbox: &[(PartyId, DolevStrongMsg<V>)],
+    ) -> Vec<Outgoing<DolevStrongMsg<V>>> {
         if self.output.is_some() {
             return Vec::new();
         }
@@ -235,7 +238,11 @@ impl<V: Value + Digestible> RoundProtocol for DolevStrong<V> {
 mod tests {
     use super::*;
 
-    fn setup(n: u32, t: usize, sender: PartyId) -> (Pki, BTreeMap<PartyId, KeyId>, Vec<PartyId>, DolevStrongConfig) {
+    fn setup(
+        n: u32,
+        t: usize,
+        sender: PartyId,
+    ) -> (Pki, BTreeMap<PartyId, KeyId>, Vec<PartyId>, DolevStrongConfig) {
         // Participants: n left-side parties (the side structure is irrelevant here).
         let participants: Vec<PartyId> = (0..n).map(PartyId::left).collect();
         let pki = Pki::new(n);
@@ -271,7 +278,15 @@ mod tests {
         let (pki, key_of, participants, config) = setup(n, t, sender);
         let mut instances: Vec<DolevStrong<u64>> = participants
             .iter()
-            .map(|&p| instance_for(&config, &pki, &key_of, p, if p == sender { Some(value) } else { None }))
+            .map(|&p| {
+                instance_for(
+                    &config,
+                    &pki,
+                    &key_of,
+                    p,
+                    if p == sender { Some(value) } else { None },
+                )
+            })
             .collect();
         let total = DolevStrong::<u64>::total_rounds(t);
         let mut pending: Vec<Vec<(PartyId, DolevStrongMsg<u64>)>> = vec![Vec::new(); n as usize];

@@ -188,9 +188,7 @@ impl<V: Value> RoundProtocol for PhaseKing<V> {
                 votes.insert(self.me, &self.v);
                 let counts = Self::counts(votes.values().copied());
                 let quorum = self.committee.quorum();
-                if let Some((&value, _)) =
-                    counts.iter().find(|(_, &count)| count >= quorum)
-                {
+                if let Some((&value, _)) = counts.iter().find(|(_, &count)| count >= quorum) {
                     let value = value.clone();
                     self.my_propose = Some(value.clone());
                     for peer in self.committee.others(self.me) {

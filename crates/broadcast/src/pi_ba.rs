@@ -123,10 +123,8 @@ impl<V: Value> RoundProtocol for OmissionTolerantBa<V> {
                 *counts.entry(v).or_insert(0) += 1;
             }
             let quorum = self.committee.quorum();
-            let decided = counts
-                .into_iter()
-                .find(|(_, count)| *count >= quorum)
-                .map(|(v, _)| v.clone());
+            let decided =
+                counts.into_iter().find(|(_, count)| *count >= quorum).map(|(v, _)| v.clone());
             self.output = Some(decided);
         }
         out
@@ -172,10 +170,7 @@ mod tests {
                 }
             }
         }
-        instances
-            .iter()
-            .map(|i| i.output().expect("ΠBA terminates after total_rounds"))
-            .collect()
+        instances.iter().map(|i| i.output().expect("ΠBA terminates after total_rounds")).collect()
     }
 
     #[test]

@@ -172,10 +172,8 @@ fn dolev_strong_setup(
 ) -> (Pki, BTreeMap<PartyId, KeyId>, DolevStrongConfig) {
     let parties = PartySet::new(k as usize);
     let pki = Pki::new(2 * k);
-    let key_of: BTreeMap<PartyId, KeyId> = parties
-        .iter()
-        .map(|p| (p, KeyId(p.dense(k as usize) as u32)))
-        .collect();
+    let key_of: BTreeMap<PartyId, KeyId> =
+        parties.iter().map(|p| (p, KeyId(p.dense(k as usize) as u32))).collect();
     let config = DolevStrongConfig {
         me: sender,
         sender,
@@ -235,7 +233,12 @@ fn dolev_strong_consistency_under_equivocating_sender() {
     for party in PartySet::new(k as usize).iter() {
         let mut cfg = config.clone();
         cfg.me = party;
-        let protocol = DolevStrong::new(cfg, key_for(&pki, &key_of, party), if party == sender { Some(0) } else { None }, u64::MAX);
+        let protocol = DolevStrong::new(
+            cfg,
+            key_for(&pki, &key_of, party),
+            if party == sender { Some(0) } else { None },
+            u64::MAX,
+        );
         net.register(Box::new(RoundDriver::new(party, protocol))).unwrap();
     }
     net.corrupt(sender).unwrap();

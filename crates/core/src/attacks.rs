@@ -102,7 +102,7 @@ pub fn split_brain_attack() -> Attack {
     let adversary = SplitBrainAdversary {
         byz_sender: PartyId::right(1),
         byz_member: PartyId::left(1),
-        instance: (k + 1) as u32, // dense index of R1
+        instance: (k + 1) as u32,               // dense index of R1
         view_a: pref_to_vec(&list(&[0, 1, 2])), // R1 prefers L0
         view_b: pref_to_vec(&list(&[2, 1, 0])), // R1 prefers L2
         audience_a: vec![PartyId::left(0), PartyId::right(0)],
@@ -230,7 +230,7 @@ pub fn relay_denial_attack(topology: Topology) -> Attack {
     let plan = ProtocolPlan::CommitteeBroadcastBsm { committee_side: Side::Left };
     let adversary = RelayDenialAdversary {
         byz_sender: PartyId::right(1),
-        instance: (k + 1) as u32, // dense index of R1
+        instance: (k + 1) as u32,            // dense index of R1
         view_a: pref_to_vec(&list(&[0, 1])), // shown to L0: R1 prefers L0
         view_b: pref_to_vec(&list(&[1, 0])), // shown to L1: R1 prefers L1
     };
@@ -361,10 +361,11 @@ impl FullSidePartitionAdversary {
         let mut relays = Vec::new();
         let mut direct = Vec::new();
         let mut next_id = 0u64;
-        let mut forged = |target: PartyId, origin: PartyId, inner: ProtoMsg, relays: &mut Vec<ForgedRelay>| {
-            relays.push(ForgedRelay { target, origin, id: next_id, inner });
-            next_id += 1;
-        };
+        let mut forged =
+            |target: PartyId, origin: PartyId, inner: ProtoMsg, relays: &mut Vec<ForgedRelay>| {
+                relays.push(ForgedRelay { target, origin, id: next_id, inner });
+                next_id += 1;
+            };
 
         for audience in [PartyId::left(0), PartyId::left(2)] {
             let audience_list = honest_profile.left(audience.idx()).clone();
@@ -381,7 +382,10 @@ impl FullSidePartitionAdversary {
                 direct.push((
                     right_party,
                     audience,
-                    ProtoMsg { instance: 0, body: ProtoBody::PrefAnnounce(pref_to_vec(&announced)) },
+                    ProtoMsg {
+                        instance: 0,
+                        body: ProtoBody::PrefAnnounce(pref_to_vec(&announced)),
+                    },
                 ));
             }
             // --- ΠBB: the byzantine left party distributes a (consistent) list to this
@@ -459,14 +463,8 @@ impl Adversary<WireMsg> for FullSidePartitionAdversary {
         // They are delivered through an arbitrary byzantine right relayer.
         let relayer = PartyId::right(0);
         for forged in &self.relays {
-            let digest = relay_digest(
-                self.byz_left,
-                forged.target,
-                forged.id,
-                slot,
-                &forged.inner,
-                self.k,
-            );
+            let digest =
+                relay_digest(self.byz_left, forged.target, forged.id, slot, &forged.inner, self.k);
             let signature = self.byz_left_key.sign(digest);
             out.push((
                 relayer,

@@ -10,13 +10,13 @@ use crate::solvability::{characterize, Impossibility, ProtocolPlan, Solvability}
 use crate::strategies::{BsmPuppetAdversary, GarbageAdversary};
 use crate::wire::{dense_key_index, WireMsg};
 use bsm_broadcast::Committee;
+use bsm_crypto::{KeyId, Pki};
 use bsm_matching::generators::uniform_profile;
 use bsm_matching::{PreferenceProfile, Side};
 use bsm_net::{
     Adversary, CorruptionBudget, Metrics, PartyId, PartySet, PassiveAdversary, SilentProcess,
     SimError, SyncNetwork, Topology,
 };
-use bsm_crypto::{KeyId, Pki};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet};
@@ -245,9 +245,7 @@ impl Scenario {
         let signatures_before = env.pki.signatures_issued();
         let slots_per_round = env.slots_per_round();
         let total_rounds = env.total_rounds(plan);
-        let max_slots = self
-            .max_slots
-            .unwrap_or_else(|| slots_per_round * (total_rounds + 4) + 8);
+        let max_slots = self.max_slots.unwrap_or_else(|| slots_per_round * (total_rounds + 4) + 8);
 
         let mut net: SyncNetwork<WireMsg, MatchDecision> = SyncNetwork::new(
             self.setting.k(),
@@ -282,7 +280,11 @@ impl Scenario {
         })
     }
 
-    fn build_adversary(&self, env: &ScenarioEnv, plan: ProtocolPlan) -> Box<dyn Adversary<WireMsg>> {
+    fn build_adversary(
+        &self,
+        env: &ScenarioEnv,
+        plan: ProtocolPlan,
+    ) -> Box<dyn Adversary<WireMsg>> {
         match self.adversary {
             AdversarySpec::Crash => Box::new(PassiveAdversary),
             AdversarySpec::Garbage => Box::new(GarbageAdversary::new(self.seed, 2)),
@@ -436,10 +438,7 @@ impl ScenarioEnv {
         let t = (self.setting.t_l() + self.setting.t_r()).min(self.setting.n().saturating_sub(1));
         BroadcastFlavor::DolevStrong {
             pki: self.pki.clone(),
-            signing_key: self
-                .pki
-                .signing_key(self.key_of[&me].0)
-                .expect("every party has a key"),
+            signing_key: self.pki.signing_key(self.key_of[&me].0).expect("every party has a key"),
             key_of: self.key_of.clone(),
             t,
         }
@@ -460,7 +459,10 @@ impl ScenarioEnv {
         }
     }
 
-    pub(crate) fn preference_of(profile: &PreferenceProfile, party: PartyId) -> bsm_matching::PreferenceList {
+    pub(crate) fn preference_of(
+        profile: &PreferenceProfile,
+        party: PartyId,
+    ) -> bsm_matching::PreferenceList {
         match party.side {
             Side::Left => profile.left(party.idx()).clone(),
             Side::Right => profile.right(party.idx()).clone(),
@@ -514,12 +516,7 @@ impl ScenarioEnv {
             self.relay_mode(),
             signing_key,
         );
-        PartyRuntime::new(
-            me,
-            relay,
-            self.build_protocol(me, plan, profile),
-            self.slots_per_round(),
-        )
+        PartyRuntime::new(me, relay, self.build_protocol(me, plan, profile), self.slots_per_round())
     }
 }
 
@@ -588,9 +585,7 @@ mod tests {
         ));
         // Wrong profile size.
         assert!(matches!(
-            Scenario::builder(ok)
-                .profile(PreferenceProfile::identity(2).unwrap())
-                .build(),
+            Scenario::builder(ok).profile(PreferenceProfile::identity(2).unwrap()).build(),
             Err(HarnessError::ProfileMismatch { .. })
         ));
         // Errors render.

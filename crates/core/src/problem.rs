@@ -164,11 +164,7 @@ impl Setting {
 
 impl fmt::Display for Setting {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "k={} {} {} tL={} tR={}",
-            self.k, self.topology, self.auth, self.t_l, self.t_r
-        )
+        write!(f, "k={} {} {} tL={} tR={}", self.k, self.topology, self.auth, self.t_l, self.t_r)
     }
 }
 
@@ -237,12 +233,16 @@ impl SsmInstance {
         let left = self
             .left_favorites
             .iter()
-            .map(|&f| bsm_matching::PreferenceList::favorite_first(k, f).expect("favorite in range"))
+            .map(|&f| {
+                bsm_matching::PreferenceList::favorite_first(k, f).expect("favorite in range")
+            })
             .collect();
         let right = self
             .right_favorites
             .iter()
-            .map(|&f| bsm_matching::PreferenceList::favorite_first(k, f).expect("favorite in range"))
+            .map(|&f| {
+                bsm_matching::PreferenceList::favorite_first(k, f).expect("favorite in range")
+            })
             .collect();
         let profile = PreferenceProfile::new(left, right).expect("favorite-first lists are valid");
         BsmInstance::new(profile, self.corrupted.clone())

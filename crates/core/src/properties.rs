@@ -97,15 +97,14 @@ impl fmt::Display for PropertyViolation {
 /// never decided are simply absent.
 pub type Outputs = BTreeMap<PartyId, MatchDecision>;
 
-fn honest_parties(instance_corrupted: &std::collections::BTreeSet<PartyId>, k: usize) -> Vec<PartyId> {
+fn honest_parties(
+    instance_corrupted: &std::collections::BTreeSet<PartyId>,
+    k: usize,
+) -> Vec<PartyId> {
     PartySet::new(k).iter().filter(|p| !instance_corrupted.contains(p)).collect()
 }
 
-fn check_common(
-    outputs: &Outputs,
-    honest: &[PartyId],
-    violations: &mut Vec<PropertyViolation>,
-) {
+fn check_common(outputs: &Outputs, honest: &[PartyId], violations: &mut Vec<PropertyViolation>) {
     // Termination.
     for &party in honest {
         if !outputs.contains_key(&party) {
@@ -116,10 +115,8 @@ fn check_common(
     for &party in honest {
         if let Some(Some(target)) = outputs.get(&party) {
             if target.side == party.side {
-                violations.push(PropertyViolation::MalformedOutput {
-                    party,
-                    decision: Some(*target),
-                });
+                violations
+                    .push(PropertyViolation::MalformedOutput { party, decision: Some(*target) });
             }
         }
     }
@@ -265,9 +262,9 @@ mod tests {
             (PartyId::left(1), Some(PartyId::right(1))),
         ]);
         let violations = check_bsm(&instance, &outputs);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, PropertyViolation::Termination { party } if *party == PartyId::right(1))));
+        assert!(violations.iter().any(
+            |v| matches!(v, PropertyViolation::Termination { party } if *party == PartyId::right(1))
+        ));
     }
 
     #[test]

@@ -138,11 +138,8 @@ impl BipartiteAuthBsm {
         if round == 1 {
             // ΠBA on every other-side party's announced list (default when silent).
             for index in 0..self.k as u32 {
-                let input = self
-                    .announced
-                    .get(&index)
-                    .cloned()
-                    .unwrap_or_else(|| default_pref_vec(self.k));
+                let input =
+                    self.announced.get(&index).cloned().unwrap_or_else(|| default_pref_vec(self.k));
                 let ba = OmissionTolerantBa::new(self.committee.clone(), self.me, input);
                 self.ba.insert(index, ba);
             }
@@ -202,10 +199,12 @@ impl BipartiteAuthBsm {
                 self.decision = Some(None);
                 return Vec::new();
             };
-            committee_lists
-                .push(vec_to_pref(self.k, &bb_value).unwrap_or_else(|| PreferenceList::identity(self.k)));
-            other_lists
-                .push(vec_to_pref(self.k, &ba_value).unwrap_or_else(|| PreferenceList::identity(self.k)));
+            committee_lists.push(
+                vec_to_pref(self.k, &bb_value).unwrap_or_else(|| PreferenceList::identity(self.k)),
+            );
+            other_lists.push(
+                vec_to_pref(self.k, &ba_value).unwrap_or_else(|| PreferenceList::identity(self.k)),
+            );
         }
         let (left, right) = match self.committee_side {
             Side::Left => (committee_lists, other_lists),
@@ -230,16 +229,17 @@ impl BipartiteAuthBsm {
             };
             out.push(Outgoing::new(
                 other_party,
-                ProtoMsg {
-                    instance: 0,
-                    body: ProtoBody::Suggest(suggested.map(|i| i as u64)),
-                },
+                ProtoMsg { instance: 0, body: ProtoBody::Suggest(suggested.map(|i| i as u64)) },
             ));
         }
         out
     }
 
-    fn other_round(&mut self, round: u64, inbox: &[(PartyId, ProtoMsg)]) -> Vec<Outgoing<ProtoMsg>> {
+    fn other_round(
+        &mut self,
+        round: u64,
+        inbox: &[(PartyId, ProtoMsg)],
+    ) -> Vec<Outgoing<ProtoMsg>> {
         // Record suggestions from committee members whenever they arrive.
         for (from, msg) in inbox {
             if from.side == self.committee_side {
@@ -270,10 +270,10 @@ impl BipartiteAuthBsm {
                 .map(|(value, _)| value)
                 .unwrap_or(None);
             let decision = winner.and_then(|idx| {
-                u32::try_from(idx).ok().filter(|&i| (i as usize) < self.k).map(|i| PartyId {
-                    side: self.committee_side,
-                    index: i,
-                })
+                u32::try_from(idx)
+                    .ok()
+                    .filter(|&i| (i as usize) < self.k)
+                    .map(|i| PartyId { side: self.committee_side, index: i })
             });
             self.decision = Some(decision);
         }
@@ -390,25 +390,15 @@ mod tests {
         // Lemma 9 requires t < k/3, but the lower-bound experiments deliberately run the
         // protocol beyond that threshold; the constructor therefore only rejects
         // outright nonsensical bounds (t >= k, checked by `Committee::new`).
-        let protocol = BipartiteAuthBsm::new(
-            PartyId::left(0),
-            3,
-            Side::Left,
-            1,
-            PreferenceList::identity(3),
-        );
+        let protocol =
+            BipartiteAuthBsm::new(PartyId::left(0), 3, Side::Left, 1, PreferenceList::identity(3));
         assert!(protocol.output().is_none());
     }
 
     #[test]
     #[should_panic(expected = "must rank all")]
     fn wrong_list_length_panics() {
-        let _ = BipartiteAuthBsm::new(
-            PartyId::left(0),
-            4,
-            Side::Left,
-            1,
-            PreferenceList::identity(3),
-        );
+        let _ =
+            BipartiteAuthBsm::new(PartyId::left(0), 4, Side::Left, 1, PreferenceList::identity(3));
     }
 }

@@ -13,7 +13,9 @@ use crate::wire::{
     default_pref_vec, dense_key_index, party_from_dense, pref_to_vec, vec_to_pref, PrefVec,
     ProtoBody, ProtoMsg,
 };
-use bsm_broadcast::{Committee, CommitteeBroadcast, CommitteeBroadcastConfig, DolevStrong, DolevStrongConfig};
+use bsm_broadcast::{
+    Committee, CommitteeBroadcast, CommitteeBroadcastConfig, DolevStrong, DolevStrongConfig,
+};
 use bsm_crypto::{KeyId, Pki, SigningKey};
 use bsm_matching::gale_shapley::gale_shapley_left;
 use bsm_matching::{PreferenceList, PreferenceProfile, Side};
@@ -298,10 +300,8 @@ mod tests {
 
     fn ds_flavor(k: usize, pki: &Pki) -> impl Fn(PartyId) -> BroadcastFlavor + '_ {
         move |p: PartyId| {
-            let key_of: BTreeMap<PartyId, KeyId> = PartySet::new(k)
-                .iter()
-                .map(|q| (q, KeyId(dense_key_index(q, k))))
-                .collect();
+            let key_of: BTreeMap<PartyId, KeyId> =
+                PartySet::new(k).iter().map(|q| (q, KeyId(dense_key_index(q, k)))).collect();
             BroadcastFlavor::DolevStrong {
                 pki: pki.clone(),
                 signing_key: pki.signing_key(dense_key_index(p, k)).unwrap(),

@@ -42,7 +42,14 @@ pub enum RelayMode {
 
 /// The digest an origin signs over when relaying `inner` to `target` — the
 /// `(P → P′, τ, id, m)` tuple of the paper's protocols.
-pub fn relay_digest(origin: PartyId, target: PartyId, id: u64, sent_at: u64, inner: &ProtoMsg, k: usize) -> Digest {
+pub fn relay_digest(
+    origin: PartyId,
+    target: PartyId,
+    id: u64,
+    sent_at: u64,
+    inner: &ProtoMsg,
+    k: usize,
+) -> Digest {
     let mut writer = DigestWriter::new();
     writer
         .label("bsm-relay")
@@ -182,7 +189,8 @@ impl RelayEngine {
                 if !self.topology.connects(self.me, target) {
                     return (Vec::new(), Vec::new());
                 }
-                let deliver = WireMsg::RelayDeliver { origin: from, target, id, sent_at, inner, signature };
+                let deliver =
+                    WireMsg::RelayDeliver { origin: from, target, id, sent_at, inner, signature };
                 (Vec::new(), vec![Outgoing::new(target, deliver)])
             }
             WireMsg::RelayDeliver { origin, target, id, sent_at, inner, signature } => {
@@ -196,7 +204,8 @@ impl RelayEngine {
                     RelayMode::Direct => (Vec::new(), Vec::new()),
                     RelayMode::Majority => {
                         let threshold = self.parties.k() / 2 + 1;
-                        let digest = relay_digest(origin, target, id, sent_at, &inner, self.parties.k());
+                        let digest =
+                            relay_digest(origin, target, id, sent_at, &inner, self.parties.k());
                         let entry = self
                             .tallies
                             .entry((origin, id))
@@ -226,7 +235,8 @@ impl RelayEngine {
                         if now.slot().saturating_sub(sent_at) > *max_age {
                             return (Vec::new(), Vec::new());
                         }
-                        let digest = relay_digest(origin, target, id, sent_at, &inner, self.parties.k());
+                        let digest =
+                            relay_digest(origin, target, id, sent_at, &inner, self.parties.k());
                         if !pki.verify(&signature, digest) {
                             return (Vec::new(), Vec::new());
                         }
@@ -357,10 +367,8 @@ mod tests {
     fn signed_mode_accepts_single_honest_relayer_and_rejects_tampering() {
         let k = 3usize;
         let pki = Pki::new(2 * k as u32);
-        let key_of: BTreeMap<PartyId, KeyId> = PartySet::new(k)
-            .iter()
-            .map(|p| (p, KeyId(p.dense(k) as u32)))
-            .collect();
+        let key_of: BTreeMap<PartyId, KeyId> =
+            PartySet::new(k).iter().map(|p| (p, KeyId(p.dense(k) as u32))).collect();
         let origin = PartyId::left(0);
         let target = PartyId::left(2);
         let origin_key = pki.signing_key(key_of[&origin].0).unwrap();
@@ -374,29 +382,19 @@ mod tests {
             mode.clone(),
             Some(origin_key),
         );
-        let mut receiver_engine = RelayEngine::new(
-            target,
-            PartySet::new(k),
-            Topology::Bipartite,
-            mode,
-            Some(target_key),
-        );
+        let mut receiver_engine =
+            RelayEngine::new(target, PartySet::new(k), Topology::Bipartite, mode, Some(target_key));
 
         let requests = sender_engine.send(target, msg(3), Time(0));
         assert_eq!(requests.len(), 3);
-        let WireMsg::RelayRequest { id, sent_at, inner, signature, .. } = requests[0].payload.clone()
+        let WireMsg::RelayRequest { id, sent_at, inner, signature, .. } =
+            requests[0].payload.clone()
         else {
             panic!("expected a relay request");
         };
         // A single honest relayer forwards it; the receiver accepts.
-        let deliver = WireMsg::RelayDeliver {
-            origin,
-            target,
-            id,
-            sent_at,
-            inner: inner.clone(),
-            signature,
-        };
+        let deliver =
+            WireMsg::RelayDeliver { origin, target, id, sent_at, inner: inner.clone(), signature };
         let (accepted, _) = receiver_engine.handle(PartyId::right(0), deliver.clone(), Time(2));
         assert_eq!(accepted, vec![(origin, msg(3))]);
         // Duplicates are suppressed.

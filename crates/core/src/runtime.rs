@@ -45,7 +45,12 @@ impl PartyRuntime {
     /// # Panics
     ///
     /// Panics if `slots_per_round == 0`.
-    pub fn new(id: PartyId, relay: RelayEngine, protocol: BsmProtocol, slots_per_round: u64) -> Self {
+    pub fn new(
+        id: PartyId,
+        relay: RelayEngine,
+        protocol: BsmProtocol,
+        slots_per_round: u64,
+    ) -> Self {
         assert!(slots_per_round > 0, "a round must span at least one slot");
         Self { id, relay, protocol, slots_per_round, buffer: Vec::new() }
     }
@@ -111,7 +116,10 @@ mod tests {
             if round == 0 {
                 vec![Outgoing::new(
                     self.peer,
-                    ProtoMsg { instance: 0, body: ProtoBody::Suggest(Some(u64::from(self.me.index))) },
+                    ProtoMsg {
+                        instance: 0,
+                        body: ProtoBody::Suggest(Some(u64::from(self.me.index))),
+                    },
                 )]
             } else {
                 Vec::new()

@@ -140,7 +140,9 @@ pub fn characterize(setting: &Setting) -> Solvability {
             if !setting.side_below_half(Side::Left) || !setting.side_below_half(Side::Right) {
                 return Solvability::Unsolvable(Impossibility {
                     theorem: "Theorem 3",
-                    reason: format!("condition (i) fails: tL = {t_l} or tR = {t_r} is ≥ k/2 (k = {k})"),
+                    reason: format!(
+                        "condition (i) fails: tL = {t_l} or tR = {t_r} is ≥ k/2 (k = {k})"
+                    ),
                 });
             }
             match committee_side(setting) {
@@ -149,7 +151,9 @@ pub fn characterize(setting: &Setting) -> Solvability {
                 }),
                 None => Solvability::Unsolvable(Impossibility {
                     theorem: "Theorem 3",
-                    reason: format!("condition (ii) fails: tL = {t_l} ≥ k/3 and tR = {t_r} ≥ k/3 (k = {k})"),
+                    reason: format!(
+                        "condition (ii) fails: tL = {t_l} ≥ k/3 and tR = {t_r} ≥ k/3 (k = {k})"
+                    ),
                 }),
             }
         }
@@ -167,7 +171,9 @@ pub fn characterize(setting: &Setting) -> Solvability {
                 }),
                 None => Solvability::Unsolvable(Impossibility {
                     theorem: "Theorem 4",
-                    reason: format!("condition (ii) fails: tL = {t_l} ≥ k/3 and tR = {t_r} ≥ k/3 (k = {k})"),
+                    reason: format!(
+                        "condition (ii) fails: tL = {t_l} ≥ k/3 and tR = {t_r} ≥ k/3 (k = {k})"
+                    ),
                 }),
             }
         }
@@ -386,7 +392,10 @@ mod tests {
                                 let weak = setting(k, order[w], auth, t_l, t_r);
                                 let strong = setting(k, order[s_idx], auth, t_l, t_r);
                                 if is_solvable(&weak) {
-                                    assert!(is_solvable(&strong), "{weak} solvable but {strong} not");
+                                    assert!(
+                                        is_solvable(&strong),
+                                        "{weak} solvable but {strong} not"
+                                    );
                                 }
                             }
                         }

@@ -262,8 +262,7 @@ mod tests {
                 Some(7)
             }
         }
-        let mut crashing =
-            CrashAfter::new(Box::new(Chatty { id: PartyId::left(0) }), Time(2));
+        let mut crashing = CrashAfter::new(Box::new(Chatty { id: PartyId::left(0) }), Time(2));
         assert_eq!(Process::<u32, u32>::id(&crashing), PartyId::left(0));
         assert_eq!(crashing.step(Time(0), vec![]).len(), 1);
         assert_eq!(crashing.step(Time(1), vec![]).len(), 1);

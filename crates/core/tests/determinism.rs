@@ -15,8 +15,8 @@ use bsm_core::harness::{AdversarySpec, Scenario, ScenarioOutcome};
 use bsm_core::problem::{AuthMode, Setting};
 use bsm_crypto::{KeyId, Pki};
 use bsm_net::{
-    CorruptionBudget, PartyId, PartySet, RandomOmissions, RoundDriver, RunOutcome,
-    SyncNetwork, Topology,
+    CorruptionBudget, PartyId, PartySet, RandomOmissions, RoundDriver, RunOutcome, SyncNetwork,
+    Topology,
 };
 use std::collections::BTreeMap;
 
@@ -73,8 +73,7 @@ fn scenario_replay_is_byte_identical_across_settings() {
 
 #[test]
 fn scenario_seed_changes_the_generated_profile() {
-    let setting =
-        Setting::new(4, Topology::FullyConnected, AuthMode::Authenticated, 0, 0).unwrap();
+    let setting = Setting::new(4, Topology::FullyConnected, AuthMode::Authenticated, 0, 0).unwrap();
     let a = Scenario::builder(setting).seed(1).build().unwrap();
     let b = Scenario::builder(setting).seed(1).build().unwrap();
     let c = Scenario::builder(setting).seed(2).build().unwrap();

@@ -8,11 +8,7 @@ use bsm_net::Topology;
 use proptest::prelude::*;
 
 fn arb_topology() -> impl Strategy<Value = Topology> {
-    prop_oneof![
-        Just(Topology::Bipartite),
-        Just(Topology::OneSided),
-        Just(Topology::FullyConnected)
-    ]
+    prop_oneof![Just(Topology::Bipartite), Just(Topology::OneSided), Just(Topology::FullyConnected)]
 }
 
 fn arb_auth() -> impl Strategy<Value = AuthMode> {

@@ -147,7 +147,11 @@ impl Pki {
     /// Returns [`VerifyError::UnknownSigner`] if the signer id is not in the directory,
     /// [`VerifyError::DigestMismatch`] if the signature covers a different digest, and
     /// [`VerifyError::Forged`] if the claimed signer never signed this digest.
-    pub fn verify_detailed(&self, signature: &Signature, digest: Digest) -> Result<(), VerifyError> {
+    pub fn verify_detailed(
+        &self,
+        signature: &Signature,
+        digest: Digest,
+    ) -> Result<(), VerifyError> {
         if signature.signer.0 >= self.n {
             return Err(VerifyError::UnknownSigner);
         }
@@ -244,7 +248,8 @@ mod tests {
 
         // A digest party 1 never signed does not verify even with a matching claim.
         let unsigned = Digest::of_bytes(b"never signed by 1");
-        let replay = Signature { signer: KeyId(1), digest: unsigned, tag: expected_tag(KeyId(1), unsigned) };
+        let replay =
+            Signature { signer: KeyId(1), digest: unsigned, tag: expected_tag(KeyId(1), unsigned) };
         assert_eq!(pki.verify_detailed(&replay, unsigned), Err(VerifyError::Forged));
 
         // The genuine one still verifies (replaying valid signatures is allowed).

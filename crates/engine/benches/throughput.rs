@@ -1,0 +1,32 @@
+//! Engine throughput: scenarios/sec of the campaign executor at 1, 2 and 4 worker
+//! threads over a small fixed grid (the ROADMAP's "criterion bench for the engine
+//! itself" item).
+//!
+//! On single-core CI hardware the three thread counts measure about the same; the
+//! bench still pins the executor's overhead (work-queue claims, canonical-order
+//! merge) and becomes a real scaling curve on multi-core machines.
+
+use bsm_engine::{Campaign, CampaignBuilder, Executor};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// A small mixed grid: solvable and unsolvable cells across every topology and both
+/// auth modes (36 cells — large enough to keep 4 workers busy, small enough to bench).
+fn small_grid() -> Campaign {
+    CampaignBuilder::new().sizes([3]).corruptions([(0, 0), (1, 1)]).seeds(0..1).build()
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let campaign = small_grid();
+    let mut group = c.benchmark_group("engine_throughput");
+    for threads in [1usize, 2, 4] {
+        let executor = Executor::new().threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &executor, |b, executor| {
+            b.iter(|| executor.run(black_box(&campaign)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_throughput);
+criterion_main!(benches);

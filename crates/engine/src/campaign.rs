@@ -7,7 +7,7 @@
 //! merges results back into this order no matter which thread finishes first, so the
 //! aggregated report and its exports are bit-identical across thread counts.
 
-use crate::grid::ScenarioSpec;
+use crate::grid::{ScenarioSpec, ShardPlan};
 use bsm_core::harness::AdversarySpec;
 use bsm_core::problem::{AuthMode, Setting};
 use bsm_core::solvability::is_solvable;
@@ -26,6 +26,12 @@ impl Campaign {
     ///
     /// This is the escape hatch for experiments whose cells do not form a cross
     /// product (e.g. the cost tables, which pick one corruption budget per size).
+    /// Note that [`CampaignReport::merge`] recombines shard reports in *coordinate*
+    /// order; if the given order differs from it, a merged export is deterministic
+    /// but not byte-identical to an unsharded export of this campaign (built
+    /// campaigns always agree — [`CampaignBuilder::build`] normalizes its axes).
+    ///
+    /// [`CampaignReport::merge`]: crate::report::CampaignReport::merge
     pub fn from_specs(specs: Vec<ScenarioSpec>) -> Self {
         Self { specs }
     }
@@ -33,6 +39,18 @@ impl Campaign {
     /// The cells in canonical order.
     pub fn specs(&self) -> &[ScenarioSpec] {
         &self.specs
+    }
+
+    /// The sub-campaign holding this shard's contiguous slice of the work list.
+    ///
+    /// Every process of a distributed run expands the same campaign (deterministic, no
+    /// coordination needed) and keeps its own slice; because the slices are contiguous
+    /// runs of the canonical order, [`CampaignReport::merge`] of the shard reports is
+    /// byte-identical to running the whole campaign in one process.
+    ///
+    /// [`CampaignReport::merge`]: crate::report::CampaignReport::merge
+    pub fn shard(&self, plan: ShardPlan) -> Campaign {
+        Campaign { specs: self.specs[plan.range(self.specs.len())].to_vec() }
     }
 
     /// Number of cells.
@@ -65,6 +83,7 @@ pub struct CampaignBuilder {
     adversaries: Vec<AdversarySpec>,
     seeds: Range<u64>,
     skip_unsolvable: bool,
+    shard: Option<ShardPlan>,
 }
 
 impl Default for CampaignBuilder {
@@ -84,6 +103,7 @@ impl CampaignBuilder {
             adversaries: AdversarySpec::ALL.to_vec(),
             seeds: 0..1,
             skip_unsolvable: false,
+            shard: None,
         }
     }
 
@@ -138,25 +158,52 @@ impl CampaignBuilder {
         self
     }
 
+    /// Restricts [`build`](Self::build) to one shard of the expanded work list (see
+    /// [`Campaign::shard`]). `None` (the default) keeps the whole campaign.
+    ///
+    /// Sharding happens *after* the full expansion, so every shard of a distributed
+    /// run agrees on the canonical work list and the slices partition it exactly.
+    pub fn shard(mut self, plan: impl Into<Option<ShardPlan>>) -> Self {
+        self.shard = plan.into();
+        self
+    }
+
     /// Expands the cross product into a campaign, in canonical order:
     /// size → topology → auth → corruption pair → adversary → seed.
+    ///
+    /// Each axis is treated as a **set**: values are sorted and deduplicated before
+    /// expansion, so the canonical order coincides exactly with the coordinate order
+    /// of [`ScenarioSpec`]'s `Ord` — the order [`CampaignReport::merge`] restores.
+    /// This is what makes the shard-merge byte-identity guarantee unconditional for
+    /// built campaigns, regardless of the order axes were passed in.
     ///
     /// Corruption pairs that exceed the current size (no valid [`Setting`]) are
     /// dropped; with [`skip_unsolvable`](Self::skip_unsolvable), provably unsolvable
     /// cells are dropped too.
+    ///
+    /// [`CampaignReport::merge`]: crate::report::CampaignReport::merge
     pub fn build(self) -> Campaign {
+        fn axis<T: Ord + Copy>(values: &[T]) -> Vec<T> {
+            let mut values = values.to_vec();
+            values.sort_unstable();
+            values.dedup();
+            values
+        }
+        let (sizes, topologies) = (axis(&self.sizes), axis(&self.topologies));
+        let (auth_modes, corruptions) = (axis(&self.auth_modes), axis(&self.corruptions));
+        let adversaries = axis(&self.adversaries);
         let mut specs = Vec::new();
-        for &k in &self.sizes {
-            for &topology in &self.topologies {
-                for &auth in &self.auth_modes {
-                    for &(t_l, t_r) in &self.corruptions {
+        for &k in &sizes {
+            for &topology in &topologies {
+                for &auth in &auth_modes {
+                    for &(t_l, t_r) in &corruptions {
                         let Ok(setting) = Setting::new(k, topology, auth, t_l, t_r) else {
                             continue;
                         };
                         if self.skip_unsolvable && !is_solvable(&setting) {
                             continue;
                         }
-                        for &adversary in &self.adversaries {
+                        for &adversary in &adversaries {
                             for seed in self.seeds.clone() {
                                 specs.push(ScenarioSpec {
                                     k,
@@ -173,7 +220,11 @@ impl CampaignBuilder {
                 }
             }
         }
-        Campaign { specs }
+        let campaign = Campaign { specs };
+        match self.shard {
+            Some(plan) => campaign.shard(plan),
+            None => campaign,
+        }
     }
 }
 
@@ -252,9 +303,54 @@ mod tests {
             .corruption_grid(1)
             .adversaries([AdversarySpec::Crash])
             .build();
-        let pairs: Vec<(usize, usize)> =
-            campaign.specs().iter().map(|s| (s.t_l, s.t_r)).collect();
+        let pairs: Vec<(usize, usize)> = campaign.specs().iter().map(|s| (s.t_l, s.t_r)).collect();
         assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn axes_are_sets_order_and_duplicates_do_not_matter() {
+        let canonical = CampaignBuilder::new()
+            .sizes([2, 3])
+            .topologies([Topology::Bipartite, Topology::FullyConnected])
+            .corruptions([(0, 0), (1, 1)])
+            .seeds(0..2)
+            .build();
+        let scrambled = CampaignBuilder::new()
+            .sizes([3, 2, 3])
+            .topologies([Topology::FullyConnected, Topology::Bipartite, Topology::FullyConnected])
+            .corruptions([(1, 1), (0, 0), (1, 1)])
+            .seeds(0..2)
+            .build();
+        assert_eq!(scrambled, canonical);
+        // Expansion order equals coordinate order, the order merge restores.
+        let mut sorted = canonical.specs().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, canonical.specs());
+    }
+
+    #[test]
+    fn shards_partition_the_canonical_work_list() {
+        let campaign = CampaignBuilder::new().sizes([2, 3, 4]).seeds(0..2).build();
+        for count in [1usize, 2, 3, 5] {
+            let mut rejoined = Vec::new();
+            for index in 0..count {
+                let plan = ShardPlan::new(index, count).unwrap();
+                let shard = campaign.shard(plan);
+                // The builder-level shard agrees with the campaign-level slice.
+                let built = CampaignBuilder::new().sizes([2, 3, 4]).seeds(0..2).shard(plan).build();
+                assert_eq!(built.specs(), shard.specs(), "builder shard {plan} diverged");
+                rejoined.extend_from_slice(shard.specs());
+            }
+            assert_eq!(rejoined, campaign.specs(), "{count} shards do not rejoin");
+        }
+    }
+
+    #[test]
+    fn builder_shard_none_keeps_the_whole_campaign() {
+        let whole = CampaignBuilder::new().build();
+        let explicit = CampaignBuilder::new().shard(None).build();
+        assert_eq!(whole, explicit);
+        assert_eq!(whole, CampaignBuilder::new().shard(ShardPlan::WHOLE).build());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! `BSM_THREADS` environment variable, and the machine's available parallelism.
 
 use crate::campaign::Campaign;
-use crate::grid::ScenarioSpec;
+use crate::grid::{ScenarioSpec, ShardPlan};
 use crate::progress::Progress;
 use crate::report::{CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats};
 use bsm_core::solvability::{characterize, Solvability};
@@ -74,6 +74,22 @@ impl Executor {
             elapsed: start.elapsed(),
         };
         (CampaignReport::new(cells), stats)
+    }
+
+    /// Runs one shard of `campaign` (see [`Campaign::shard`]) and aggregates its slice
+    /// of the results in canonical order.
+    ///
+    /// This is the distributed entry point: each process runs its own shard, exports
+    /// the shard report, and [`CampaignReport::merge`] recombines the exports into the
+    /// single-process report byte for byte.
+    ///
+    /// [`CampaignReport::merge`]: crate::report::CampaignReport::merge
+    pub fn run_shard(
+        &self,
+        campaign: &Campaign,
+        plan: ShardPlan,
+    ) -> (CampaignReport, ExecutionStats) {
+        self.run(&campaign.shard(plan))
     }
 
     /// Applies `f` to every item on the worker pool, returning the results **in input
@@ -144,21 +160,22 @@ fn run_cell(spec: ScenarioSpec) -> CellRecord {
     let outcome = match spec.setting() {
         Err(err) => CellOutcome::Failed { message: err.to_string() },
         Ok(setting) => match characterize(&setting) {
-            Solvability::Unsolvable(imp) => CellOutcome::Unsolvable {
-                theorem: imp.theorem.to_string(),
-                reason: imp.reason,
-            },
-            Solvability::Solvable(plan) => match spec.build_scenario().and_then(|s| s.run_with_plan(plan)) {
-                Ok(run) => CellOutcome::Completed(CellStats {
-                    plan: run.plan,
-                    all_honest_decided: run.all_honest_decided,
-                    violations: run.violations.len(),
-                    slots: run.slots,
-                    messages: run.metrics.total_messages(),
-                    signatures: run.signatures,
-                }),
-                Err(err) => CellOutcome::Failed { message: err.to_string() },
-            },
+            Solvability::Unsolvable(imp) => {
+                CellOutcome::Unsolvable { theorem: imp.theorem.to_string(), reason: imp.reason }
+            }
+            Solvability::Solvable(plan) => {
+                match spec.build_scenario().and_then(|s| s.run_with_plan(plan)) {
+                    Ok(run) => CellOutcome::Completed(CellStats {
+                        plan: run.plan,
+                        all_honest_decided: run.all_honest_decided,
+                        violations: run.violations.len(),
+                        slots: run.slots,
+                        messages: run.metrics.total_messages(),
+                        signatures: run.signatures,
+                    }),
+                    Err(err) => CellOutcome::Failed { message: err.to_string() },
+                }
+            }
         },
     };
     CellRecord { spec, outcome }
@@ -210,15 +227,27 @@ mod tests {
 
     #[test]
     fn campaign_reports_are_identical_across_thread_counts() {
-        let campaign = CampaignBuilder::new()
-            .sizes([2, 3])
-            .corruptions([(0, 0), (1, 1)])
-            .seeds(0..2)
-            .build();
+        let campaign =
+            CampaignBuilder::new().sizes([2, 3]).corruptions([(0, 0), (1, 1)]).seeds(0..2).build();
         let (serial, _) = Executor::new().threads(1).run(&campaign);
         let (parallel, stats) = Executor::new().threads(4).run(&campaign);
         assert_eq!(serial, parallel);
         assert_eq!(stats.scenarios, campaign.len());
+    }
+
+    #[test]
+    fn shard_runs_cover_exactly_the_shard_slice() {
+        let campaign = CampaignBuilder::new().sizes([2, 3]).seeds(0..2).build();
+        let executor = Executor::new().threads(2);
+        let (whole, _) = executor.run(&campaign);
+        let mut rejoined = Vec::new();
+        for index in 0..3 {
+            let plan = ShardPlan::new(index, 3).unwrap();
+            let (report, stats) = executor.run_shard(&campaign, plan);
+            assert_eq!(stats.scenarios, plan.range(campaign.len()).len());
+            rejoined.extend_from_slice(report.cells());
+        }
+        assert_eq!(rejoined, whole.cells(), "shard runs diverge from the whole run");
     }
 
     #[test]
@@ -237,9 +266,7 @@ mod tests {
         assert!(stats.messages > 0);
         assert!(stats.signatures > 0);
 
-        let unsolvable = ScenarioSpec {
-            auth: AuthMode::Unauthenticated, ..solvable
-        };
+        let unsolvable = ScenarioSpec { auth: AuthMode::Unauthenticated, ..solvable };
         assert!(matches!(
             run_cell(unsolvable).outcome,
             CellOutcome::Unsolvable { ref theorem, .. } if theorem == "Theorem 2"

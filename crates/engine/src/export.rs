@@ -120,36 +120,35 @@ pub fn to_csv(report: &CampaignReport) -> String {
     out.push('\n');
     for cell in report.cells() {
         let s = &cell.spec;
-        let (plan, decided, violations, slots, messages, signatures, detail) =
-            match &cell.outcome {
-                CellOutcome::Completed(stats) => (
-                    stats.plan.to_string(),
-                    stats.all_honest_decided.to_string(),
-                    stats.violations.to_string(),
-                    stats.slots.to_string(),
-                    stats.messages.to_string(),
-                    stats.signatures.to_string(),
-                    String::new(),
-                ),
-                CellOutcome::Unsolvable { theorem, reason } => (
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    format!("{theorem}: {reason}"),
-                ),
-                CellOutcome::Failed { message } => (
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    String::new(),
-                    message.clone(),
-                ),
-            };
+        let (plan, decided, violations, slots, messages, signatures, detail) = match &cell.outcome {
+            CellOutcome::Completed(stats) => (
+                stats.plan.to_string(),
+                stats.all_honest_decided.to_string(),
+                stats.violations.to_string(),
+                stats.slots.to_string(),
+                stats.messages.to_string(),
+                stats.signatures.to_string(),
+                String::new(),
+            ),
+            CellOutcome::Unsolvable { theorem, reason } => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                format!("{theorem}: {reason}"),
+            ),
+            CellOutcome::Failed { message } => (
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+                message.clone(),
+            ),
+        };
         let _ = writeln!(
             out,
             "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
@@ -183,8 +182,8 @@ mod tests {
     use bsm_core::harness::AdversarySpec;
     use bsm_core::problem::AuthMode;
     use bsm_core::solvability::ProtocolPlan;
-    use bsm_net::Topology;
     use bsm_matching::Side;
+    use bsm_net::Topology;
 
     #[test]
     fn json_escaping_handles_quotes_and_control_characters() {

@@ -10,6 +10,8 @@ use bsm_core::harness::{AdversarySpec, HarnessError, Scenario, ScenarioOutcome};
 use bsm_core::problem::{AuthMode, Setting, SettingError};
 use bsm_net::Topology;
 use std::fmt;
+use std::ops::Range;
+use std::str::FromStr;
 
 /// The coordinates of one campaign cell.
 ///
@@ -78,6 +80,122 @@ impl ScenarioSpec {
     }
 }
 
+/// One contiguous slice of a campaign's canonical work list: shard `index` of `count`.
+///
+/// A `ShardPlan` is how one campaign is split across processes or machines. Every
+/// shard runs the same deterministic expansion (so all shards agree on the canonical
+/// work list without communicating), then keeps only its own coordinate range via
+/// [`range`](Self::range). The ranges of the `count` shards partition the work list:
+/// contiguous, disjoint, and balanced to within one cell. Because each shard is a
+/// contiguous run of the canonical order, merging shard reports back in coordinate
+/// order reproduces the single-process report byte for byte.
+///
+/// The CLI spelling is 1-based (`--shard 2/3` is the second of three shards);
+/// internally [`index`](Self::index) is 0-based.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ShardPlan {
+    index: usize,
+    count: usize,
+}
+
+/// Errors constructing or parsing a [`ShardPlan`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardPlanError {
+    /// The shard count was zero.
+    ZeroCount,
+    /// The (0-based) shard index was not below the shard count.
+    IndexOutOfRange {
+        /// The offending 0-based index.
+        index: usize,
+        /// The shard count.
+        count: usize,
+    },
+    /// The textual form was not `I/K` with integers `1 ≤ I ≤ K`.
+    Malformed(String),
+}
+
+impl fmt::Display for ShardPlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardPlanError::ZeroCount => write!(f, "shard count must be at least 1"),
+            ShardPlanError::IndexOutOfRange { index, count } => {
+                write!(f, "shard index {index} out of range for {count} shard(s)")
+            }
+            ShardPlanError::Malformed(s) => {
+                write!(f, "malformed shard spec {s:?} (expected I/K with 1 ≤ I ≤ K)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardPlanError {}
+
+impl ShardPlan {
+    /// The trivial plan: one shard holding the whole campaign.
+    pub const WHOLE: ShardPlan = ShardPlan { index: 0, count: 1 };
+
+    /// Creates shard `index` (0-based) of `count`.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardPlanError::ZeroCount`] when `count == 0`,
+    /// [`ShardPlanError::IndexOutOfRange`] when `index >= count`.
+    pub fn new(index: usize, count: usize) -> Result<Self, ShardPlanError> {
+        if count == 0 {
+            return Err(ShardPlanError::ZeroCount);
+        }
+        if index >= count {
+            return Err(ShardPlanError::IndexOutOfRange { index, count });
+        }
+        Ok(Self { index, count })
+    }
+
+    /// The 0-based shard index.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// The total number of shards.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// The contiguous index range this shard owns in a work list of `total` cells.
+    ///
+    /// The split is balanced: the first `total % count` shards get one extra cell.
+    /// The ranges of all `count` shards partition `0..total` in order.
+    pub fn range(&self, total: usize) -> Range<usize> {
+        let base = total / self.count;
+        let extra = total % self.count;
+        let start = self.index * base + self.index.min(extra);
+        let len = base + usize::from(self.index < extra);
+        start..start + len
+    }
+}
+
+impl FromStr for ShardPlan {
+    type Err = ShardPlanError;
+
+    /// Parses the 1-based CLI spelling `I/K` (e.g. `"2/3"`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let malformed = || ShardPlanError::Malformed(s.to_string());
+        let (index, count) = s.split_once('/').ok_or_else(malformed)?;
+        let index: usize = index.trim().parse().map_err(|_| malformed())?;
+        let count: usize = count.trim().parse().map_err(|_| malformed())?;
+        if index == 0 {
+            return Err(malformed());
+        }
+        ShardPlan::new(index - 1, count)
+    }
+}
+
+impl fmt::Display for ShardPlan {
+    /// Renders the 1-based CLI spelling (`2/3` for index 1 of 3).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.index + 1, self.count)
+    }
+}
+
 impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -131,8 +249,53 @@ mod tests {
     #[test]
     fn display_names_every_axis() {
         let rendered = spec().to_string();
-        for needle in ["k=3", "fully-connected", "authenticated", "tL=1", "tR=1", "crash", "seed=7"] {
+        for needle in ["k=3", "fully-connected", "authenticated", "tL=1", "tR=1", "crash", "seed=7"]
+        {
             assert!(rendered.contains(needle), "missing {needle} in {rendered}");
         }
+    }
+
+    #[test]
+    fn shard_ranges_partition_any_total() {
+        for count in 1..=7usize {
+            for total in [0usize, 1, 5, 72, 576, 1081] {
+                let mut next = 0;
+                let mut sizes = Vec::new();
+                for index in 0..count {
+                    let range = ShardPlan::new(index, count).unwrap().range(total);
+                    assert_eq!(range.start, next, "gap before shard {index}/{count} at {total}");
+                    sizes.push(range.len());
+                    next = range.end;
+                }
+                assert_eq!(next, total, "shards of {count} do not cover {total}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "unbalanced split of {total} into {count}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn shard_plan_validates_its_coordinates() {
+        assert_eq!(ShardPlan::new(0, 0), Err(ShardPlanError::ZeroCount));
+        assert_eq!(
+            ShardPlan::new(3, 3),
+            Err(ShardPlanError::IndexOutOfRange { index: 3, count: 3 })
+        );
+        assert_eq!(ShardPlan::WHOLE.range(10), 0..10);
+        assert!(ShardPlanError::ZeroCount.to_string().contains("at least 1"));
+        assert!(ShardPlan::new(3, 3).unwrap_err().to_string().contains("out of range"));
+    }
+
+    #[test]
+    fn shard_plan_round_trips_through_the_cli_spelling() {
+        let plan: ShardPlan = "2/3".parse().unwrap();
+        assert_eq!((plan.index(), plan.count()), (1, 3));
+        assert_eq!(plan.to_string(), "2/3");
+        assert_eq!(plan.to_string().parse::<ShardPlan>().unwrap(), plan);
+        for bad in ["", "3", "0/3", "4/3", "a/b", "1/", "/3", "1/0"] {
+            assert!(bad.parse::<ShardPlan>().is_err(), "{bad:?} should not parse");
+        }
+        assert!("9/4".parse::<ShardPlan>().unwrap_err().to_string().contains("out of range"));
+        assert!("x/y".parse::<ShardPlan>().unwrap_err().to_string().contains("malformed"));
     }
 }

@@ -1,0 +1,580 @@
+//! Structured result import: a hand-rolled JSON reader for the [`crate::export`]
+//! format (no serde).
+//!
+//! [`from_json`] is the inverse of [`crate::export::to_json`]: it parses an exported
+//! campaign document back into a [`CampaignReport`], reconstructing every
+//! [`CellRecord`] — grid coordinates, outcome shape and all outcome fields. This is
+//! what makes campaigns *shardable across processes*: each shard exports its report as
+//! JSON, and the merge step imports the shard documents and recombines them with
+//! [`CampaignReport::merge`] into a report byte-identical to a single-process run.
+//!
+//! The reader accepts any JSON that the writer can produce (plus insignificant
+//! whitespace and reordered keys) and rejects everything else with a positioned
+//! [`ImportError`]. Totals in the document are *verified* against the cells rather
+//! than trusted, so a hand-edited or truncated document cannot smuggle in
+//! inconsistent aggregates.
+
+use crate::grid::ScenarioSpec;
+use crate::report::{CampaignReport, CellOutcome, CellRecord, CellStats, Totals};
+use bsm_core::harness::AdversarySpec;
+use bsm_core::problem::AuthMode;
+use bsm_core::solvability::ProtocolPlan;
+use bsm_matching::Side;
+use bsm_net::Topology;
+use std::fmt;
+
+/// Errors produced while importing an exported campaign document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportError {
+    /// The document is not well-formed JSON (of the subset the exporter emits).
+    Syntax {
+        /// Byte offset of the offending character.
+        offset: usize,
+        /// What the parser expected or found.
+        message: String,
+    },
+    /// The document is valid JSON but does not match the export schema.
+    Schema(String),
+}
+
+impl fmt::Display for ImportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportError::Syntax { offset, message } => {
+                write!(f, "JSON syntax error at byte {offset}: {message}")
+            }
+            ImportError::Schema(message) => write!(f, "campaign schema error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ImportError {}
+
+/// A parsed JSON value of the subset the exporter emits (no floats, no null).
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Value {
+    Object(Vec<(String, Value)>),
+    Array(Vec<Value>),
+    String(String),
+    Number(u64),
+    Bool(bool),
+}
+
+impl Value {
+    fn type_name(&self) -> &'static str {
+        match self {
+            Value::Object(_) => "object",
+            Value::Array(_) => "array",
+            Value::String(_) => "string",
+            Value::Number(_) => "number",
+            Value::Bool(_) => "boolean",
+        }
+    }
+}
+
+/// A recursive-descent parser over the document bytes.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> ImportError {
+        ImportError::Syntax { offset: self.pos, message: message.into() }
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ImportError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {:?}", byte as char)))
+        }
+    }
+
+    fn parse_document(&mut self) -> Result<Value, ImportError> {
+        let value = self.parse_value()?;
+        self.skip_whitespace();
+        if self.pos != self.bytes.len() {
+            return Err(self.error("trailing content after the document"));
+        }
+        Ok(value)
+    }
+
+    fn parse_value(&mut self) -> Result<Value, ImportError> {
+        self.skip_whitespace();
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::String(self.parse_string()?)),
+            Some(b't') | Some(b'f') => self.parse_bool(),
+            Some(b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected character {:?}", other as char))),
+            None => Err(self.error("unexpected end of document")),
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, ImportError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, ImportError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, ImportError> {
+        for (literal, value) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+                self.pos += literal.len();
+                return Ok(Value::Bool(value));
+            }
+        }
+        Err(self.error("expected 'true' or 'false'"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, ImportError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if matches!(self.peek(), Some(b'.') | Some(b'e') | Some(b'E') | Some(b'-') | Some(b'+')) {
+            return Err(self.error("only unsigned integers appear in campaign exports"));
+        }
+        let digits =
+            std::str::from_utf8(&self.bytes[start..self.pos]).expect("digit range is ASCII");
+        digits
+            .parse::<u64>()
+            .map(Value::Number)
+            .map_err(|_| self.error(format!("integer out of range: {digits}")))
+    }
+
+    /// Parses a JSON string literal, decoding the escapes the exporter emits
+    /// (`\" \\ \/ \n \r \t \b \f \uXXXX` including surrogate pairs).
+    fn parse_string(&mut self) -> Result<String, ImportError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let rest = &self.bytes[self.pos..];
+            let Some(&byte) = rest.first() else {
+                return Err(self.error("unterminated string"));
+            };
+            match byte {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    out.push(self.parse_escape()?);
+                }
+                0x00..=0x1f => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the document is a &str, so slicing on
+                    // char boundaries is safe).
+                    let text = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let c = text.chars().next().expect("non-empty remainder");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_escape(&mut self) -> Result<char, ImportError> {
+        let Some(byte) = self.peek() else {
+            return Err(self.error("unterminated escape"));
+        };
+        self.pos += 1;
+        Ok(match byte {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b'r' => '\r',
+            b't' => '\t',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'u' => {
+                let high = self.parse_hex4()?;
+                if (0xd800..0xdc00).contains(&high) {
+                    // Surrogate pair: the writer never emits these today (non-ASCII
+                    // passes through raw), but a conforming document may.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let low = self.parse_hex4()?;
+                        if !(0xdc00..0xe000).contains(&low) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        let code = 0x10000 + ((high - 0xd800) << 10) + (low - 0xdc00);
+                        char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))?
+                    } else {
+                        return Err(self.error("lone high surrogate"));
+                    }
+                } else {
+                    char::from_u32(high).ok_or_else(|| self.error("invalid \\u escape"))?
+                }
+            }
+            other => return Err(self.error(format!("unknown escape \\{}", other as char))),
+        })
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, ImportError> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(self.error("truncated \\u escape"));
+        };
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .ok()
+            .filter(|h| h.bytes().all(|b| b.is_ascii_hexdigit()))
+            .ok_or_else(|| self.error("non-hex \\u escape"))?;
+        self.pos = end;
+        Ok(u32::from_str_radix(hex, 16).expect("validated hex digits"))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schema mapping: Value → CampaignReport
+// ---------------------------------------------------------------------------
+
+fn schema(message: impl Into<String>) -> ImportError {
+    ImportError::Schema(message.into())
+}
+
+fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, ImportError> {
+    fields
+        .iter()
+        .find(|(key, _)| key == name)
+        .map(|(_, value)| value)
+        .ok_or_else(|| schema(format!("missing field {name:?}")))
+}
+
+fn as_object(value: &Value, what: &str) -> Result<Vec<(String, Value)>, ImportError> {
+    match value {
+        Value::Object(fields) => Ok(fields.clone()),
+        other => Err(schema(format!("{what}: expected object, found {}", other.type_name()))),
+    }
+}
+
+fn number(fields: &[(String, Value)], name: &str) -> Result<u64, ImportError> {
+    match field(fields, name)? {
+        Value::Number(n) => Ok(*n),
+        other => Err(schema(format!("{name}: expected number, found {}", other.type_name()))),
+    }
+}
+
+fn usize_field(fields: &[(String, Value)], name: &str) -> Result<usize, ImportError> {
+    usize::try_from(number(fields, name)?)
+        .map_err(|_| schema(format!("{name}: value exceeds usize")))
+}
+
+fn string<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v str, ImportError> {
+    match field(fields, name)? {
+        Value::String(s) => Ok(s),
+        other => Err(schema(format!("{name}: expected string, found {}", other.type_name()))),
+    }
+}
+
+fn boolean(fields: &[(String, Value)], name: &str) -> Result<bool, ImportError> {
+    match field(fields, name)? {
+        Value::Bool(b) => Ok(*b),
+        other => Err(schema(format!("{name}: expected boolean, found {}", other.type_name()))),
+    }
+}
+
+fn parse_topology(name: &str) -> Result<Topology, ImportError> {
+    Topology::ALL
+        .into_iter()
+        .find(|t| t.name() == name)
+        .ok_or_else(|| schema(format!("unknown topology {name:?}")))
+}
+
+fn parse_auth(name: &str) -> Result<AuthMode, ImportError> {
+    AuthMode::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| schema(format!("unknown auth mode {name:?}")))
+}
+
+fn parse_adversary(name: &str) -> Result<AdversarySpec, ImportError> {
+    AdversarySpec::ALL
+        .into_iter()
+        .find(|a| a.name() == name)
+        .ok_or_else(|| schema(format!("unknown adversary {name:?}")))
+}
+
+/// Every plan the characterization can prescribe; matched against the rendered name
+/// so the import stays in lockstep with [`ProtocolPlan`]'s `Display`.
+const ALL_PLANS: [ProtocolPlan; 5] = [
+    ProtocolPlan::CommitteeBroadcastBsm { committee_side: Side::Left },
+    ProtocolPlan::CommitteeBroadcastBsm { committee_side: Side::Right },
+    ProtocolPlan::DolevStrongBsm,
+    ProtocolPlan::BipartiteAuthLocal { committee_side: Side::Left },
+    ProtocolPlan::BipartiteAuthLocal { committee_side: Side::Right },
+];
+
+fn parse_plan(name: &str) -> Result<ProtocolPlan, ImportError> {
+    ALL_PLANS
+        .into_iter()
+        .find(|p| p.to_string() == name)
+        .ok_or_else(|| schema(format!("unknown protocol plan {name:?}")))
+}
+
+fn parse_cell(value: &Value) -> Result<CellRecord, ImportError> {
+    let fields = as_object(value, "cell")?;
+    let spec = ScenarioSpec {
+        k: usize_field(&fields, "k")?,
+        topology: parse_topology(string(&fields, "topology")?)?,
+        auth: parse_auth(string(&fields, "auth")?)?,
+        t_l: usize_field(&fields, "t_l")?,
+        t_r: usize_field(&fields, "t_r")?,
+        adversary: parse_adversary(string(&fields, "adversary")?)?,
+        seed: number(&fields, "seed")?,
+    };
+    let outcome = match string(&fields, "status")? {
+        "completed" => CellOutcome::Completed(CellStats {
+            plan: parse_plan(string(&fields, "plan")?)?,
+            all_honest_decided: boolean(&fields, "all_honest_decided")?,
+            violations: usize_field(&fields, "violations")?,
+            slots: number(&fields, "slots")?,
+            messages: number(&fields, "messages")?,
+            signatures: number(&fields, "signatures")?,
+        }),
+        "unsolvable" => CellOutcome::Unsolvable {
+            theorem: string(&fields, "theorem")?.to_string(),
+            reason: string(&fields, "reason")?.to_string(),
+        },
+        "failed" => CellOutcome::Failed { message: string(&fields, "message")?.to_string() },
+        other => return Err(schema(format!("unknown cell status {other:?}"))),
+    };
+    Ok(CellRecord { spec, outcome })
+}
+
+/// Verifies the document's `totals` object against the totals recomputed from the
+/// imported cells — a tampered or truncated document fails loudly here.
+fn verify_totals(fields: &[(String, Value)], recomputed: Totals) -> Result<(), ImportError> {
+    let declared = Totals {
+        scenarios: usize_field(fields, "scenarios")?,
+        completed: usize_field(fields, "completed")?,
+        solved_clean: usize_field(fields, "solved_clean")?,
+        unsolvable: usize_field(fields, "unsolvable")?,
+        failed: usize_field(fields, "failed")?,
+        violations: usize_field(fields, "violations")?,
+        slots: number(fields, "slots")?,
+        messages: number(fields, "messages")?,
+        signatures: number(fields, "signatures")?,
+    };
+    if declared != recomputed {
+        return Err(schema(format!(
+            "totals do not match the cells: declared [{declared}], recomputed [{recomputed}]"
+        )));
+    }
+    Ok(())
+}
+
+/// Parses a document produced by [`crate::export::to_json`] back into the report.
+///
+/// Round-trip contract: `from_json(&to_json(&report))` reconstructs a report equal to
+/// the original (`==`), and re-exporting it yields byte-identical JSON and CSV.
+///
+/// # Errors
+///
+/// [`ImportError::Syntax`] for malformed JSON, [`ImportError::Schema`] for well-formed
+/// JSON that does not match the export layout (unknown axis names, missing fields,
+/// totals inconsistent with the cells).
+pub fn from_json(json: &str) -> Result<CampaignReport, ImportError> {
+    let document = Parser::new(json).parse_document()?;
+    let root = as_object(&document, "document root")?;
+    let cells_value = match field(&root, "cells")? {
+        Value::Array(items) => items.clone(),
+        other => return Err(schema(format!("cells: expected array, found {}", other.type_name()))),
+    };
+    let cells = cells_value.iter().map(parse_cell).collect::<Result<Vec<_>, _>>()?;
+    let report = CampaignReport::new(cells);
+    let totals_fields = as_object(field(&root, "totals")?, "totals")?;
+    verify_totals(&totals_fields, report.totals())?;
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::CampaignBuilder;
+    use crate::executor::Executor;
+    use crate::export::to_json;
+
+    #[test]
+    fn import_inverts_export_on_a_real_campaign() {
+        let campaign = CampaignBuilder::new().sizes([2, 3]).corruptions([(0, 0), (1, 1)]).build();
+        let (report, _) = Executor::new().threads(2).run(&campaign);
+        let imported = from_json(&to_json(&report)).unwrap();
+        assert_eq!(imported, report);
+        assert_eq!(to_json(&imported), to_json(&report));
+    }
+
+    #[test]
+    fn syntax_errors_carry_a_byte_offset() {
+        let err = from_json("{\"totals\": ").unwrap_err();
+        assert!(matches!(err, ImportError::Syntax { .. }), "{err}");
+        assert!(err.to_string().contains("byte"));
+        for bad in ["", "[1,]", "{\"a\" 1}", "{\"a\": 1e3}", "\"unclosed", "nope", "{} trailing"] {
+            assert!(from_json(bad).is_err(), "{bad:?} should not import");
+        }
+    }
+
+    #[test]
+    fn schema_errors_name_the_problem() {
+        // Well-formed JSON, wrong shape.
+        let err = from_json("[1, 2]").unwrap_err();
+        assert!(err.to_string().contains("expected object"), "{err}");
+        let err = from_json("{\"cells\": []}").unwrap_err();
+        assert!(err.to_string().contains("totals"), "{err}");
+        let doc = "{\"totals\": {}, \"cells\": [{\"k\": 1, \"topology\": \"hypercube\", \
+                   \"auth\": \"authenticated\", \"t_l\": 0, \"t_r\": 0, \
+                   \"adversary\": \"crash\", \"seed\": 0, \"status\": \"failed\", \
+                   \"message\": \"x\"}]}";
+        let err = from_json(doc).unwrap_err();
+        assert!(err.to_string().contains("unknown topology"), "{err}");
+    }
+
+    #[test]
+    fn tampered_totals_are_rejected() {
+        let campaign = CampaignBuilder::new().sizes([2]).build();
+        let (report, _) = Executor::new().threads(1).run(&campaign);
+        let json = to_json(&report);
+        let tampered = json.replacen(
+            &format!("\"scenarios\": {}", report.totals().scenarios),
+            "\"scenarios\": 9999",
+            1,
+        );
+        let err = from_json(&tampered).unwrap_err();
+        assert!(err.to_string().contains("totals do not match"), "{err}");
+    }
+
+    #[test]
+    fn string_escapes_decode_including_surrogate_pairs() {
+        let mut parser = Parser::new(r#""a\"b\\c\n\t\u0001\ud83e\udd80é""#);
+        let parsed = parser.parse_string().unwrap();
+        assert_eq!(parsed, "a\"b\\c\n\t\u{1}🦀é");
+        for bad in [r#""\ud800x""#, r#""\ud800 ""#, r#""\uZZZZ""#, r#""\q""#] {
+            assert!(Parser::new(bad).parse_string().is_err(), "{bad} should not parse");
+        }
+    }
+
+    /// Property-style round-trip: every outcome shape with adversarial strings (JSON
+    /// metacharacters, control characters, non-ASCII) survives
+    /// `from_json(to_json(...))` with every `CellRecord` field intact.
+    #[test]
+    fn import_round_trips_every_outcome_shape_and_escaped_strings() {
+        // A tiny deterministic LCG so the test needs no RNG dependency.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move |bound: u64| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) % bound
+        };
+        let nasty = [
+            "plain",
+            "with \"quotes\" and \\backslashes\\",
+            "line\nbreak\ttab\rreturn",
+            "control\u{1}\u{1f}chars",
+            "unicode Πbψم🦀",
+            "comma, separated, value",
+            "",
+        ];
+        let mut cells = Vec::new();
+        for i in 0..200u64 {
+            let spec = ScenarioSpec {
+                k: 1 + next(6) as usize,
+                topology: Topology::ALL[next(3) as usize],
+                auth: AuthMode::ALL[next(2) as usize],
+                t_l: next(3) as usize,
+                t_r: next(3) as usize,
+                adversary: AdversarySpec::ALL[next(3) as usize],
+                seed: i,
+            };
+            let outcome = match next(3) {
+                0 => CellOutcome::Completed(CellStats {
+                    plan: ALL_PLANS[next(5) as usize],
+                    all_honest_decided: next(2) == 0,
+                    violations: next(10) as usize,
+                    slots: next(1000),
+                    messages: next(u64::MAX),
+                    signatures: next(100_000),
+                }),
+                1 => CellOutcome::Unsolvable {
+                    theorem: nasty[next(7) as usize].to_string(),
+                    reason: nasty[next(7) as usize].to_string(),
+                },
+                _ => CellOutcome::Failed { message: nasty[next(7) as usize].to_string() },
+            };
+            cells.push(CellRecord { spec, outcome });
+        }
+        let report = CampaignReport::new(cells);
+        let imported = from_json(&to_json(&report)).unwrap();
+        assert_eq!(imported, report, "round-trip altered a cell");
+        // Second generation: the re-export is also byte-identical.
+        assert_eq!(to_json(&imported), to_json(&report));
+    }
+}

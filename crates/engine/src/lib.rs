@@ -16,7 +16,33 @@
 //!   lives in the separate [`ExecutionStats`],
 //! * [`export`] — hand-rolled JSON and CSV writers (no serde) whose output is a pure
 //!   function of the report,
+//! * [`import`] — the inverse hand-rolled JSON reader: parse an exported document
+//!   back into a [`CampaignReport`] (round-trip exact),
+//! * [`diff`] — [`CampaignDiff`]: cell-level comparison of two reports, rendering
+//!   only the differing cells,
 //! * [`progress`] — an optional scenarios/sec + ETA reporter on stderr.
+//!
+//! # Sharded campaigns
+//!
+//! A campaign can be split across processes or machines with a [`ShardPlan`]: every
+//! process expands the same campaign (deterministically — no coordination), runs its
+//! contiguous slice of the canonical work list, and exports its shard report.
+//! [`CampaignReport::merge`] recombines imported shard reports in canonical
+//! coordinate order, so the merged export is **byte-identical** to a single-process
+//! run:
+//!
+//! ```rust
+//! use bsm_engine::{CampaignBuilder, CampaignReport, Executor, ShardPlan};
+//!
+//! let campaign = CampaignBuilder::new().sizes([3]).seeds(0..2).build();
+//! let executor = Executor::new().threads(2);
+//! let (whole, _) = executor.run(&campaign);
+//! let shards: Vec<_> = (0..3)
+//!     .map(|i| executor.run_shard(&campaign, ShardPlan::new(i, 3).unwrap()).0)
+//!     .collect();
+//! let merged = CampaignReport::merge(shards).unwrap();
+//! assert_eq!(bsm_engine::to_json(&merged), bsm_engine::to_json(&whole));
+//! ```
 //!
 //! # Quickstart
 //!
@@ -40,18 +66,24 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod diff;
 pub mod executor;
 pub mod export;
 pub mod grid;
+pub mod import;
 pub mod progress;
 pub mod report;
 
 pub use campaign::{Campaign, CampaignBuilder};
+pub use diff::{CampaignDiff, CellDiff};
 pub use executor::{Executor, THREADS_ENV};
 pub use export::{to_csv, to_json};
-pub use grid::ScenarioSpec;
+pub use grid::{ScenarioSpec, ShardPlan, ShardPlanError};
+pub use import::{from_json, ImportError};
 pub use progress::Progress;
-pub use report::{CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats, Totals};
+pub use report::{
+    CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats, MergeError, Totals,
+};
 
 // Campaign-friendliness audit: everything the executor moves across worker threads
 // must be Send + Sync. Failing this compiles-time check means a core type regressed
@@ -65,4 +97,6 @@ const _: () = {
     assert_send_sync::<Campaign>();
     assert_send_sync::<CellRecord>();
     assert_send_sync::<CampaignReport>();
+    assert_send_sync::<ShardPlan>();
+    assert_send_sync::<CampaignDiff>();
 };

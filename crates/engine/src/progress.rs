@@ -23,15 +23,29 @@ pub enum Progress {
 impl Progress {
     /// Reports that `done` of `total` scenarios have completed since `start`.
     pub fn tick(&self, done: usize, total: usize, start: Instant) {
+        if let Some(line) = self.line(done, total, start.elapsed().as_secs_f64()) {
+            eprintln!("{line}");
+        }
+    }
+
+    /// The line this tick emits, if any (the testable core of [`tick`](Self::tick)).
+    ///
+    /// Period lines fire every `every` completed scenarios strictly *before*
+    /// completion; the distinct completion line fires exactly once, at
+    /// `done == total` — in particular, a `total` that is a multiple of `every` gets
+    /// one completion line, not a period line plus a completion line.
+    fn line(&self, done: usize, total: usize, elapsed_secs: f64) -> Option<String> {
         let every = match *self {
-            Progress::Silent => return,
+            Progress::Silent => return None,
             Progress::Stderr { every } => every,
         };
-        let at_period = every > 0 && done.is_multiple_of(every);
-        if !at_period && done != total {
-            return;
+        if done == total {
+            Some(render_completion(total, elapsed_secs))
+        } else if every > 0 && done.is_multiple_of(every) {
+            Some(render(done, total, elapsed_secs))
+        } else {
+            None
         }
-        eprintln!("{}", render(done, total, start.elapsed().as_secs_f64()));
     }
 }
 
@@ -43,6 +57,18 @@ fn render(done: usize, total: usize, elapsed_secs: f64) -> String {
         format!("[bsm-engine] {done}/{total} scenarios, {rate:.1}/sec, ETA {eta:.1}s")
     } else {
         format!("[bsm-engine] {done}/{total} scenarios")
+    }
+}
+
+/// Formats the completion line (no ETA; total elapsed time and final rate instead).
+fn render_completion(total: usize, elapsed_secs: f64) -> String {
+    if elapsed_secs > 0.0 {
+        let rate = total as f64 / elapsed_secs;
+        format!(
+            "[bsm-engine] done: {total}/{total} scenarios in {elapsed_secs:.1}s ({rate:.1}/sec)"
+        )
+    } else {
+        format!("[bsm-engine] done: {total}/{total} scenarios")
     }
 }
 
@@ -72,5 +98,45 @@ mod tests {
         // The stderr reporter is exercised too; output goes to the test's stderr.
         Progress::Stderr { every: 1 }.tick(1, 2, Instant::now());
         Progress::Stderr { every: 0 }.tick(2, 2, Instant::now());
+    }
+
+    /// Simulates a full run (one tick per completed scenario, as the executor does)
+    /// and collects every emitted line.
+    fn lines_of_run(progress: Progress, total: usize) -> Vec<String> {
+        (1..=total).filter_map(|done| progress.line(done, total, 2.0)).collect()
+    }
+
+    #[test]
+    fn completion_line_is_emitted_exactly_once_when_total_is_a_multiple_of_every() {
+        // total = 100 is a multiple of every = 25: periods at 25/50/75, then one
+        // completion line at 100 — not a period line *and* a completion line.
+        let lines = lines_of_run(Progress::Stderr { every: 25 }, 100);
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        assert_eq!(lines.iter().filter(|l| l.contains("done:")).count(), 1, "{lines:?}");
+        assert!(lines[3].contains("done: 100/100"), "{lines:?}");
+        assert!(lines[..3].iter().all(|l| l.contains("ETA")), "{lines:?}");
+        assert!(!lines[3].contains("ETA"), "completion line must not carry an ETA");
+        assert_eq!(lines.iter().filter(|l| l.contains("100/100")).count(), 1, "{lines:?}");
+    }
+
+    #[test]
+    fn non_aligned_totals_also_complete_exactly_once() {
+        let lines = lines_of_run(Progress::Stderr { every: 30 }, 100);
+        // Periods at 30/60/90, completion at 100.
+        assert_eq!(lines.len(), 4, "{lines:?}");
+        assert!(lines[3].contains("done: 100/100"), "{lines:?}");
+        // `every = 0`: only the completion line.
+        let only_completion = lines_of_run(Progress::Stderr { every: 0 }, 50);
+        assert_eq!(only_completion.len(), 1, "{only_completion:?}");
+        assert!(only_completion[0].contains("done: 50/50"));
+        // Silent: nothing at all.
+        assert!(lines_of_run(Progress::Silent, 50).is_empty());
+    }
+
+    #[test]
+    fn completion_render_handles_zero_elapsed_time() {
+        assert_eq!(render_completion(5, 0.0), "[bsm-engine] done: 5/5 scenarios");
+        let line = render_completion(10, 2.0);
+        assert!(line.contains("10/10 scenarios in 2.0s (5.0/sec)"), "{line}");
     }
 }

@@ -152,6 +152,34 @@ impl CampaignReport {
         Self { cells, totals }
     }
 
+    /// Recombines shard reports into one report in canonical coordinate order.
+    ///
+    /// The shards may be given in any order: cells are re-sorted by their grid
+    /// coordinates (the same nesting the canonical expansion uses — size, topology,
+    /// auth, corruption pair, adversary, seed) and the totals are recomputed from the
+    /// union. [`CampaignBuilder::build`] normalizes its axes so expansion order *is*
+    /// coordinate order, which makes exporting the merged report reproduce the
+    /// unsharded `to_json`/`to_csv` documents byte for byte. (A hand-assembled
+    /// [`Campaign::from_specs`] work list in non-coordinate order is still merged
+    /// deterministically, but in coordinate order rather than its original order.)
+    ///
+    /// [`CampaignBuilder::build`]: crate::campaign::CampaignBuilder::build
+    /// [`Campaign::from_specs`]: crate::campaign::Campaign::from_specs
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::DuplicateCell`] when two shards carry the same coordinates —
+    /// overlapping shard ranges, or the same shard imported twice.
+    pub fn merge(shards: impl IntoIterator<Item = CampaignReport>) -> Result<Self, MergeError> {
+        let mut cells: Vec<CellRecord> =
+            shards.into_iter().flat_map(|report| report.cells).collect();
+        cells.sort_by_key(|cell| cell.spec);
+        if let Some(dup) = cells.windows(2).find(|pair| pair[0].spec == pair[1].spec) {
+            return Err(MergeError::DuplicateCell(dup[0].spec));
+        }
+        Ok(Self::new(cells))
+    }
+
     /// The per-cell records, in canonical order.
     pub fn cells(&self) -> &[CellRecord] {
         &self.cells
@@ -162,6 +190,25 @@ impl CampaignReport {
         self.totals
     }
 }
+
+/// Errors recombining shard reports with [`CampaignReport::merge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// Two shards carried a cell with the same grid coordinates.
+    DuplicateCell(ScenarioSpec),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::DuplicateCell(spec) => {
+                write!(f, "duplicate cell across shards: {spec}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
 
 /// Wall-clock statistics of one executor run. Kept separate from [`CampaignReport`] so
 /// exports stay deterministic.
@@ -241,12 +288,12 @@ mod tests {
             completed(2),
             CellRecord {
                 spec: spec(),
-                outcome: CellOutcome::Unsolvable { theorem: "Theorem 2".into(), reason: "x".into() },
+                outcome: CellOutcome::Unsolvable {
+                    theorem: "Theorem 2".into(),
+                    reason: "x".into(),
+                },
             },
-            CellRecord {
-                spec: spec(),
-                outcome: CellOutcome::Failed { message: "boom".into() },
-            },
+            CellRecord { spec: spec(), outcome: CellOutcome::Failed { message: "boom".into() } },
         ];
         let report = CampaignReport::new(cells);
         let totals = report.totals();
@@ -275,9 +322,39 @@ mod tests {
     }
 
     #[test]
+    fn merge_restores_coordinate_order_and_recomputes_totals() {
+        let mut late = completed(1);
+        late.spec.seed = 9;
+        let early = completed(0);
+        // Shards given out of order; the merge re-sorts by coordinates.
+        let shards =
+            vec![CampaignReport::new(vec![late.clone()]), CampaignReport::new(vec![early.clone()])];
+        let merged = CampaignReport::merge(shards).unwrap();
+        assert_eq!(merged.cells(), &[early, late]);
+        assert_eq!(merged.totals().scenarios, 2);
+        assert_eq!(merged.totals().completed, 2);
+        assert_eq!(merged.totals().violations, 1);
+    }
+
+    #[test]
+    fn merge_rejects_overlapping_shards() {
+        let shards =
+            vec![CampaignReport::new(vec![completed(0)]), CampaignReport::new(vec![completed(0)])];
+        let err = CampaignReport::merge(shards).unwrap_err();
+        assert_eq!(err, MergeError::DuplicateCell(spec()));
+        assert!(err.to_string().contains("duplicate cell"));
+    }
+
+    #[test]
+    fn merge_of_nothing_is_the_empty_report() {
+        let merged = CampaignReport::merge(Vec::new()).unwrap();
+        assert!(merged.cells().is_empty());
+        assert_eq!(merged.totals(), Totals::default());
+    }
+
+    #[test]
     fn throughput_is_scenarios_per_second() {
-        let stats =
-            ExecutionStats { threads: 2, scenarios: 100, elapsed: Duration::from_secs(4) };
+        let stats = ExecutionStats { threads: 2, scenarios: 100, elapsed: Duration::from_secs(4) };
         assert!((stats.throughput() - 25.0).abs() < 1e-9);
         assert!(stats.to_string().contains("2 threads"));
         let zero = ExecutionStats { threads: 1, scenarios: 0, elapsed: Duration::ZERO };

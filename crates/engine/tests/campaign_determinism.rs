@@ -5,10 +5,10 @@
 //! JSON and CSV exports no matter how many worker threads execute it. This is the
 //! engine's core contract — every scaling PR must keep it.
 
-use bsm_engine::export::{to_csv, to_json, CSV_HEADER};
-use bsm_engine::{CampaignBuilder, CellOutcome, Executor};
 use bsm_core::harness::AdversarySpec;
 use bsm_core::problem::AuthMode;
+use bsm_engine::export::{to_csv, to_json, CSV_HEADER};
+use bsm_engine::{CampaignBuilder, CellOutcome, Executor};
 use bsm_net::Topology;
 
 /// A fixed mixed campaign: solvable and unsolvable cells, every topology, both auth
@@ -37,16 +37,8 @@ fn campaign_export_is_byte_identical_across_1_2_and_8_threads() {
     for threads in [2usize, 8] {
         let (report, stats) = Executor::new().threads(threads).run(&campaign);
         assert_eq!(report, reference, "report diverged at {threads} threads");
-        assert_eq!(
-            to_json(&report),
-            reference_json,
-            "JSON export diverged at {threads} threads"
-        );
-        assert_eq!(
-            to_csv(&report),
-            reference_csv,
-            "CSV export diverged at {threads} threads"
-        );
+        assert_eq!(to_json(&report), reference_json, "JSON export diverged at {threads} threads");
+        assert_eq!(to_csv(&report), reference_csv, "CSV export diverged at {threads} threads");
         assert_eq!(stats.scenarios, campaign.len());
     }
 }
@@ -80,12 +72,8 @@ fn campaign_totals_are_consistent_with_cells() {
     assert!(totals.unsolvable > 0);
     // Authenticated cells sign; the totals must see it.
     assert!(totals.signatures > 0);
-    let violations: usize = report
-        .cells()
-        .iter()
-        .filter_map(|c| c.outcome.stats())
-        .map(|s| s.violations)
-        .sum();
+    let violations: usize =
+        report.cells().iter().filter_map(|c| c.outcome.stats()).map(|s| s.violations).sum();
     assert_eq!(totals.violations, violations);
 }
 

@@ -187,18 +187,8 @@ mod tests {
     fn textbook_instance_left_proposing() {
         // Gusfield-Irving style 4x4 instance.
         let profile = PreferenceProfile::from_rows(
-            vec![
-                vec![0, 1, 2, 3],
-                vec![1, 0, 3, 2],
-                vec![2, 3, 0, 1],
-                vec![3, 2, 1, 0],
-            ],
-            vec![
-                vec![3, 2, 1, 0],
-                vec![2, 3, 0, 1],
-                vec![1, 0, 3, 2],
-                vec![0, 1, 2, 3],
-            ],
+            vec![vec![0, 1, 2, 3], vec![1, 0, 3, 2], vec![2, 3, 0, 1], vec![3, 2, 1, 0]],
+            vec![vec![3, 2, 1, 0], vec![2, 3, 0, 1], vec![1, 0, 3, 2], vec![0, 1, 2, 3]],
         )
         .unwrap();
         let outcome = gale_shapley(&profile, ProposingSide::Left);

@@ -286,11 +286,18 @@ mod tests {
 
     #[test]
     fn profile_validation() {
-        let ok = IncompleteProfile::new(vec![list(2, &[0]), list(2, &[1])], vec![list(2, &[0]), list(2, &[1])]);
+        let ok = IncompleteProfile::new(
+            vec![list(2, &[0]), list(2, &[1])],
+            vec![list(2, &[0]), list(2, &[1])],
+        );
         assert!(ok.is_ok());
-        let mismatch = IncompleteProfile::new(vec![list(2, &[0])], vec![list(2, &[0]), list(2, &[1])]);
+        let mismatch =
+            IncompleteProfile::new(vec![list(2, &[0])], vec![list(2, &[0]), list(2, &[1])]);
         assert!(mismatch.is_err());
-        let wrong_k = IncompleteProfile::new(vec![list(3, &[0]), list(2, &[1])], vec![list(2, &[0]), list(2, &[1])]);
+        let wrong_k = IncompleteProfile::new(
+            vec![list(3, &[0]), list(2, &[1])],
+            vec![list(2, &[0]), list(2, &[1])],
+        );
         assert!(wrong_k.is_err());
         assert!(IncompleteProfile::new(vec![], vec![]).is_err());
     }
@@ -310,11 +317,9 @@ mod tests {
     #[test]
     fn one_sided_acceptability_does_not_match() {
         // Left 0 accepts right 0, but right 0 rejects everyone.
-        let profile = IncompleteProfile::new(
-            vec![list(1, &[0])],
-            vec![IncompleteList::unacceptable_all(1)],
-        )
-        .unwrap();
+        let profile =
+            IncompleteProfile::new(vec![list(1, &[0])], vec![IncompleteList::unacceptable_all(1)])
+                .unwrap();
         let m = gale_shapley_incomplete(&profile);
         assert_eq!(m.matched_pairs(), 0);
         assert!(is_stable_incomplete(&profile, &m));
@@ -365,11 +370,7 @@ mod tests {
 
     #[test]
     fn matched_to_unacceptable_partner_is_unstable() {
-        let profile = IncompleteProfile::new(
-            vec![list(1, &[])],
-            vec![list(1, &[0])],
-        )
-        .unwrap();
+        let profile = IncompleteProfile::new(vec![list(1, &[])], vec![list(1, &[0])]).unwrap();
         let m = Matching::from_left_assignment(&[Some(0)]).unwrap();
         assert!(!is_stable_incomplete(&profile, &m));
     }

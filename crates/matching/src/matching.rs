@@ -176,10 +176,7 @@ impl Matching {
 
     /// Iterates over matched pairs `(left, right)` in ascending left order.
     pub fn pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
-        self.left_to_right
-            .iter()
-            .enumerate()
-            .filter_map(|(i, partner)| partner.map(|j| (i, j)))
+        self.left_to_right.iter().enumerate().filter_map(|(i, partner)| partner.map(|j| (i, j)))
     }
 
     /// The left-side assignment vector (`result[i]` is the partner of left agent `i`).

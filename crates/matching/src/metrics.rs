@@ -62,7 +62,11 @@ pub fn evaluate(profile: &PreferenceProfile, matching: &Matching) -> MatchingQua
 }
 
 /// The rank each agent of `side` assigns to its partner, `None` for unmatched agents.
-pub fn partner_ranks(profile: &PreferenceProfile, matching: &Matching, side: Side) -> Vec<Option<usize>> {
+pub fn partner_ranks(
+    profile: &PreferenceProfile,
+    matching: &Matching,
+    side: Side,
+) -> Vec<Option<usize>> {
     let k = profile.k();
     (0..k)
         .map(|i| match side {
@@ -88,9 +92,8 @@ mod tests {
     fn identity_matching_under_mutual_favorites_is_optimal() {
         // Left i and right i rank each other first, so the identity matching gives every
         // agent its favorite.
-        let lists: Vec<_> = (0..4)
-            .map(|i| crate::PreferenceList::favorite_first(4, i).unwrap())
-            .collect();
+        let lists: Vec<_> =
+            (0..4).map(|i| crate::PreferenceList::favorite_first(4, i).unwrap()).collect();
         let profile = PreferenceProfile::new(lists.clone(), lists).unwrap();
         let matching = Matching::identity(4).unwrap();
         let quality = evaluate(&profile, &matching);

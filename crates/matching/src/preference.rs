@@ -182,20 +182,16 @@ impl PreferenceProfile {
             .into_iter()
             .enumerate()
             .map(|(agent, row)| {
-                PreferenceList::new(row).map_err(|_| MatchingError::NotAPermutation {
-                    side: "left",
-                    agent,
-                })
+                PreferenceList::new(row)
+                    .map_err(|_| MatchingError::NotAPermutation { side: "left", agent })
             })
             .collect::<Result<Vec<_>>>()?;
         let right = right
             .into_iter()
             .enumerate()
             .map(|(agent, row)| {
-                PreferenceList::new(row).map_err(|_| MatchingError::NotAPermutation {
-                    side: "right",
-                    agent,
-                })
+                PreferenceList::new(row)
+                    .map_err(|_| MatchingError::NotAPermutation { side: "right", agent })
             })
             .collect::<Result<Vec<_>>>()?;
         Self::new(left, right)

@@ -42,7 +42,10 @@ impl fmt::Display for RoommatesError {
                 write!(f, "number of agents must be even and positive, got {n}")
             }
             RoommatesError::InvalidList { agent } => {
-                write!(f, "preference list of agent {agent} must rank every other agent exactly once")
+                write!(
+                    f,
+                    "preference list of agent {agent} must rank every other agent exactly once"
+                )
             }
         }
     }
@@ -237,10 +240,8 @@ pub fn solve_roommates(instance: &RoommatesInstance) -> Option<Vec<usize>> {
         // Rotation: (x_i, y_i) with y_i = first(x_i); eliminate by having y_{i+1}
         // reject x_i, i.e. delete (x_i, y_{i+1}'s successors)… the standard elimination
         // is: for each i, delete the pair (x_i, y_i) so that x_i moves on to y_{i+1}.
-        let firsts: Vec<usize> = cycle
-            .iter()
-            .map(|&x| table.first(x).expect("nonempty list"))
-            .collect();
+        let firsts: Vec<usize> =
+            cycle.iter().map(|&x| table.first(x).expect("nonempty list")).collect();
         for (idx, &x) in cycle.iter().enumerate() {
             table.delete_pair(x, firsts[idx]);
         }

@@ -132,10 +132,12 @@ mod tests {
     fn random_omissions_are_seed_deterministic() {
         let mut a = RandomOmissions::new(0.5, 99);
         let mut b = RandomOmissions::new(0.5, 99);
-        let pattern_a: Vec<bool> =
-            (0..100).map(|i| FaultInjector::<u32>::deliver(&mut a, &envelope(i), Time(1))).collect();
-        let pattern_b: Vec<bool> =
-            (0..100).map(|i| FaultInjector::<u32>::deliver(&mut b, &envelope(i), Time(1))).collect();
+        let pattern_a: Vec<bool> = (0..100)
+            .map(|i| FaultInjector::<u32>::deliver(&mut a, &envelope(i), Time(1)))
+            .collect();
+        let pattern_b: Vec<bool> = (0..100)
+            .map(|i| FaultInjector::<u32>::deliver(&mut b, &envelope(i), Time(1)))
+            .collect();
         assert_eq!(pattern_a, pattern_b);
         assert!(pattern_a.iter().any(|&d| d));
         assert!(pattern_a.iter().any(|&d| !d));

@@ -21,7 +21,10 @@ impl<M> Outgoing<M> {
 }
 
 /// Convenience constructor for sending the same payload to many recipients.
-pub fn multicast<M: Clone>(recipients: impl IntoIterator<Item = PartyId>, payload: M) -> Vec<Outgoing<M>> {
+pub fn multicast<M: Clone>(
+    recipients: impl IntoIterator<Item = PartyId>,
+    payload: M,
+) -> Vec<Outgoing<M>> {
     recipients.into_iter().map(|to| Outgoing::new(to, payload.clone())).collect()
 }
 

@@ -183,7 +183,8 @@ mod tests {
 
     #[test]
     fn ordering_is_total_and_stable() {
-        let mut parties = vec![PartyId::right(1), PartyId::left(1), PartyId::right(0), PartyId::left(0)];
+        let mut parties =
+            vec![PartyId::right(1), PartyId::left(1), PartyId::right(0), PartyId::left(0)];
         parties.sort();
         assert_eq!(
             parties,

@@ -133,11 +133,13 @@ mod tests {
         let out = driver.step(Time(0), vec![]);
         assert_eq!(out.len(), 1);
         // Slot 1: mid-round, messages received are buffered, nothing sent.
-        let env = Envelope { from: peer, to: me, sent_at: Time(0), deliver_at: Time(1), payload: 5 };
+        let env =
+            Envelope { from: peer, to: me, sent_at: Time(0), deliver_at: Time(1), payload: 5 };
         assert!(driver.step(Time(1), vec![env]).is_empty());
         assert!(driver.protocol().output.is_none());
         // Slot 2: round 1 → consume the buffered message and decide.
-        let env2 = Envelope { from: peer, to: me, sent_at: Time(1), deliver_at: Time(2), payload: 7 };
+        let env2 =
+            Envelope { from: peer, to: me, sent_at: Time(1), deliver_at: Time(2), payload: 7 };
         assert!(driver.step(Time(2), vec![env2]).is_empty());
         assert_eq!(Process::<u64, u64>::output(&driver), Some(12));
     }

@@ -269,12 +269,8 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
         }
 
         // 3. Step honest processes.
-        let honest: Vec<PartyId> = self
-            .processes
-            .keys()
-            .copied()
-            .filter(|p| !self.corrupted.contains(p))
-            .collect();
+        let honest: Vec<PartyId> =
+            self.processes.keys().copied().filter(|p| !self.corrupted.contains(p)).collect();
         let mut to_send: Vec<(PartyId, Outgoing<M>)> = Vec::new();
         for party in &honest {
             let inbox = inboxes.remove(party).unwrap_or_default();
@@ -293,10 +289,8 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
         }
 
         // 4. The adversary acts with the corrupted parties' inboxes.
-        let corrupted_inboxes: BTreeMap<PartyId, Vec<Envelope<M>>> = inboxes
-            .into_iter()
-            .filter(|(party, _)| self.corrupted.contains(party))
-            .collect();
+        let corrupted_inboxes: BTreeMap<PartyId, Vec<Envelope<M>>> =
+            inboxes.into_iter().filter(|(party, _)| self.corrupted.contains(party)).collect();
         let ctx = self.adversary_context();
         let byzantine_sends = self.adversary.act(&ctx, &corrupted_inboxes);
         for (from, outgoing) in byzantine_sends {
@@ -341,11 +335,8 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
         // bSM property checkers only consider never-corrupted parties; drop the rest to
         // keep the outcome unambiguous.
         let corrupted = self.corrupted.clone();
-        let outputs = self
-            .outputs
-            .into_iter()
-            .filter(|(party, _)| !corrupted.contains(party))
-            .collect();
+        let outputs =
+            self.outputs.into_iter().filter(|(party, _)| !corrupted.contains(party)).collect();
         Ok(RunOutcome {
             outputs,
             corrupted,

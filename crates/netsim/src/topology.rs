@@ -19,7 +19,8 @@ pub enum Topology {
 
 impl Topology {
     /// All topologies, weakest (bipartite) first.
-    pub const ALL: [Topology; 3] = [Topology::Bipartite, Topology::OneSided, Topology::FullyConnected];
+    pub const ALL: [Topology; 3] =
+        [Topology::Bipartite, Topology::OneSided, Topology::FullyConnected];
 
     /// Returns `true` if parties `a` and `b` share a direct channel in this topology.
     ///
@@ -39,10 +40,7 @@ impl Topology {
 
     /// Returns `true` if the parties *within* `side` are pairwise connected.
     pub fn side_connected(&self, side: Side) -> bool {
-        matches!(
-            (self, side),
-            (Topology::FullyConnected, _) | (Topology::OneSided, Side::Right)
-        )
+        matches!((self, side), (Topology::FullyConnected, _) | (Topology::OneSided, Side::Right))
     }
 
     /// Returns `true` if every channel of `self` is also a channel of `other`.

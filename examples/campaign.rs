@@ -3,7 +3,8 @@
 //! Sweeps market sizes × topologies × auth modes × corruption budgets × adversary
 //! strategies × seeds, runs the campaign at several worker-thread counts, verifies
 //! that the aggregated JSON/CSV exports are **byte-identical across thread counts**,
-//! reports the parallel speedup, and writes the exports to disk.
+//! splits the campaign into shards and verifies the merged shard reports are
+//! byte-identical too, reports the parallel speedup, and writes the exports to disk.
 //!
 //! Run with:
 //!
@@ -11,13 +12,16 @@
 //! cargo run --release --example campaign                     # full ~1080-cell sweep
 //! cargo run --release --example campaign -- --smoke          # small CI grid
 //! cargo run --release --example campaign -- --threads 8 --out target/campaign
+//! cargo run --release --example campaign -- --shards 5       # 5-way shard self-check
 //! ```
 //!
 //! Exits non-zero when the determinism check fails or the export cannot be written —
 //! CI runs the smoke mode as a regression gate.
 
 use byzantine_stable_matching::engine::export::{to_csv, to_json};
-use byzantine_stable_matching::engine::{Campaign, CampaignBuilder, Executor, Progress};
+use byzantine_stable_matching::engine::{
+    Campaign, CampaignBuilder, CampaignReport, Executor, Progress, ShardPlan,
+};
 use byzantine_stable_matching::AdversarySpec;
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -25,12 +29,13 @@ use std::process::ExitCode;
 struct Args {
     smoke: bool,
     threads: Option<usize>,
+    shards: usize,
     out: PathBuf,
 }
 
 fn parse_args() -> Args {
     let mut args =
-        Args { smoke: false, threads: None, out: PathBuf::from("target/campaign") };
+        Args { smoke: false, threads: None, shards: 3, out: PathBuf::from("target/campaign") };
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -39,6 +44,11 @@ fn parse_args() -> Args {
                 Some((Ok(n), _)) if n > 0 => args.threads = Some(n),
                 Some((_, v)) => eprintln!("warning: ignoring invalid --threads value: {v}"),
                 None => eprintln!("warning: --threads expects a positive integer"),
+            },
+            "--shards" => match iter.next().map(|v| (v.parse::<usize>(), v)) {
+                Some((Ok(n), _)) if n > 0 => args.shards = n,
+                Some((_, v)) => eprintln!("warning: ignoring invalid --shards value: {v}"),
+                None => eprintln!("warning: --shards expects a positive integer"),
             },
             "--out" => {
                 if let Some(dir) = iter.next() {
@@ -97,9 +107,7 @@ fn main() -> ExitCode {
     let mut exports: Vec<(usize, String, String, f64)> = Vec::new();
     let mut totals = None;
     for &threads in &counts {
-        let executor = Executor::new()
-            .threads(threads)
-            .progress(Progress::Stderr { every: 250 });
+        let executor = Executor::new().threads(threads).progress(Progress::Stderr { every: 250 });
         let (report, stats) = executor.run(&campaign);
         eprintln!("threads={threads}: {stats}");
         exports.push((threads, to_json(&report), to_csv(&report), stats.elapsed.as_secs_f64()));
@@ -122,10 +130,34 @@ fn main() -> ExitCode {
         counts
     );
 
+    // Shard self-check: run the campaign as `--shards` independent slices (as K
+    // processes would), merge the shard reports, and require the merged exports to be
+    // byte-identical to the unsharded reference.
+    let shard_reports: Vec<CampaignReport> = (0..args.shards)
+        .map(|index| {
+            let plan = ShardPlan::new(index, args.shards).expect("index < count");
+            Executor::new().threads(parallel).run_shard(&campaign, plan).0
+        })
+        .collect();
+    match CampaignReport::merge(shard_reports) {
+        Ok(merged) if to_json(&merged) == *json_1 && to_csv(&merged) == *csv_1 => {
+            println!(
+                "determinism: merging {} shard runs is byte-identical to the unsharded run",
+                args.shards
+            );
+        }
+        Ok(_) => {
+            eprintln!("DETERMINISM FAILURE: merged {}-shard exports differ", args.shards);
+            return ExitCode::FAILURE;
+        }
+        Err(err) => {
+            eprintln!("MERGE FAILURE: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+
     // Speedup of the most parallel run over the serial one.
-    if let Some((threads, _, _, elapsed)) =
-        exports.iter().find(|(t, _, _, _)| *t == parallel)
-    {
+    if let Some((threads, _, _, elapsed)) = exports.iter().find(|(t, _, _, _)| *t == parallel) {
         if *elapsed > 0.0 {
             eprintln!("speedup: {:.2}x at {threads} threads vs 1 thread", elapsed_1 / elapsed);
         }

@@ -53,7 +53,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (party, decision) in &outcome.outputs {
         if party.is_left() {
             match decision {
-                Some(cluster) => println!("  clients[{}] → cluster[{}]", party.index, cluster.index),
+                Some(cluster) => {
+                    println!("  clients[{}] → cluster[{}]", party.index, cluster.index)
+                }
                 None => println!("  clients[{}] unassigned", party.index),
             }
         }
@@ -64,6 +66,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.metrics.total_messages()
     );
     assert!(outcome.violations.is_empty(), "violations: {:?}", outcome.violations);
-    println!("no blocking pairs among honest parties, no cluster double-booked — stable under faults");
+    println!(
+        "no blocking pairs among honest parties, no cluster double-booked — stable under faults"
+    );
     Ok(())
 }

@@ -53,14 +53,19 @@ fn byzantine_partners_never_break_honest_guarantees() {
                 .unwrap();
             let outcome = scenario.run().unwrap();
             assert!(outcome.all_honest_decided, "{topology} {adversary:?}");
-            assert!(outcome.violations.is_empty(), "{topology} {adversary:?}: {:?}", outcome.violations);
+            assert!(
+                outcome.violations.is_empty(),
+                "{topology} {adversary:?}: {:?}",
+                outcome.violations
+            );
         }
     }
 }
 
 #[test]
 fn committee_side_selection_is_visible_in_the_plan() {
-    let setting = Setting::new(6, Topology::FullyConnected, AuthMode::Unauthenticated, 4, 1).unwrap();
+    let setting =
+        Setting::new(6, Topology::FullyConnected, AuthMode::Unauthenticated, 4, 1).unwrap();
     match characterize(&setting) {
         Solvability::Solvable(ProtocolPlan::CommitteeBroadcastBsm { committee_side }) => {
             assert_eq!(committee_side, Side::Right);

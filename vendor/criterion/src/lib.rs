@@ -126,7 +126,12 @@ impl BenchmarkGroup<'_> {
         let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
         println!(
             "{}/{}: [{:?} {:?} {:?}] ({} samples)",
-            self.name, id, min, mean, max, samples.len()
+            self.name,
+            id,
+            min,
+            mean,
+            max,
+            samples.len()
         );
     }
 
