@@ -19,12 +19,34 @@
 //! `run` executes the standard campaign grid (`--smoke`: the small CI grid; default:
 //! the full ~1080-cell sweep — the same grids as `examples/campaign.rs`) and writes
 //! `report.json` + `report.csv` to `--out`. All flags come from [`bsm_bench::cli`].
+//!
+//! # Streaming (`--stream`)
+//!
+//! For campaigns too large to hold every cell in memory, `run --stream` writes a
+//! `report.jsonl` instead — coordinate-sorted cell lines plus a totals footer,
+//! streamed to disk as cells complete — and `merge --stream` k-way-merges shard
+//! `report.jsonl` files in constant memory into `report.json` + `report.csv`
+//! **byte-identical** to the in-memory `merge` of unstreamed shard exports:
+//!
+//! ```sh
+//! campaign_ctl run --smoke --stream --shard 1/3 --out shards/1   # ... 2/3, 3/3
+//! campaign_ctl merge --stream --out merged \
+//!     shards/1/report.jsonl shards/2/report.jsonl shards/3/report.jsonl
+//! ```
+//!
+//! `diff` accepts both formats (`.jsonl` exports are detected by extension).
 
 use bsm_bench::cli::BenchArgs;
 use bsm_core::harness::AdversarySpec;
-use bsm_engine::export::{to_csv, to_json};
-use bsm_engine::import::from_json;
-use bsm_engine::{Campaign, CampaignBuilder, CampaignDiff, CampaignReport, Progress};
+use bsm_engine::export::{
+    to_csv, to_json, MergedJsonWriter, StreamingCsvWriter, StreamingExporter,
+};
+use bsm_engine::import::{footer_totals, from_json, from_jsonl, StreamingCells};
+use bsm_engine::{
+    Campaign, CampaignBuilder, CampaignDiff, CampaignReport, CellMerge, Executor, Progress, Totals,
+};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -62,8 +84,14 @@ fn export_report(report: &CampaignReport, dir: &Path) -> Result<(), String> {
     Ok(())
 }
 
-/// Reads and imports one exported `report.json`.
+/// Reads and imports one exported report: `report.json`, or a streamed
+/// `report.jsonl` (detected by extension).
 fn import_report(path: &str) -> Result<CampaignReport, String> {
+    if Path::new(path).extension().is_some_and(|ext| ext == "jsonl") {
+        let file = File::open(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+        return from_jsonl(BufReader::new(file))
+            .map_err(|err| format!("cannot import {path}: {err}"));
+    }
     let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
     from_json(&text).map_err(|err| format!("cannot import {path}: {err}"))
 }
@@ -71,15 +99,16 @@ fn import_report(path: &str) -> Result<CampaignReport, String> {
 fn run(args: &BenchArgs) -> Result<(), String> {
     let campaign = build_campaign(args.smoke);
     let executor = args.executor().progress(Progress::Stderr { every: 250 });
+    match args.shard {
+        Some(plan) => eprintln!("running shard {plan} of {campaign}"),
+        None => eprintln!("running {campaign}"),
+    }
+    if args.stream {
+        return run_streamed(args, &campaign, &executor);
+    }
     let (report, stats) = match args.shard {
-        Some(plan) => {
-            eprintln!("running shard {plan} of {campaign}");
-            executor.run_shard(&campaign, plan)
-        }
-        None => {
-            eprintln!("running {campaign}");
-            executor.run(&campaign)
-        }
+        Some(plan) => executor.run_shard(&campaign, plan),
+        None => executor.run(&campaign),
     };
     eprintln!("{stats}");
     println!("totals: {}", report.totals());
@@ -87,15 +116,116 @@ fn run(args: &BenchArgs) -> Result<(), String> {
     export_report(&report, &out)
 }
 
+/// `run --stream`: cells are folded into rolling totals and streamed to
+/// `report.jsonl` as they complete; the full record vector is never held in memory.
+fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> Result<(), String> {
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
+    std::fs::create_dir_all(&out)
+        .map_err(|err| format!("cannot create {}: {err}", out.display()))?;
+    let path = out.join("report.jsonl");
+    let file =
+        File::create(&path).map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+    let mut exporter = StreamingExporter::new(BufWriter::new(file));
+    let result = (|| {
+        let run = match args.shard {
+            Some(plan) => {
+                executor.run_shard_streaming(campaign, plan, |cell| exporter.write_cell(&cell))
+            }
+            None => executor.run_streaming(campaign, |cell| exporter.write_cell(&cell)),
+        };
+        let (totals, stats) =
+            run.map_err(|err| format!("streamed export to {} failed: {err}", path.display()))?;
+        exporter.finish().map_err(|err| format!("cannot finish {}: {err}", path.display()))?;
+        Ok((totals, stats))
+    })();
+    let (totals, stats) = match result {
+        Ok(done) => done,
+        Err(message) => {
+            // Never leave a footerless (truncated) stream behind a failed run: a
+            // later merge --stream globbing shard dirs would trip over it.
+            let _ = std::fs::remove_file(&path);
+            return Err(message);
+        }
+    };
+    eprintln!("{stats}");
+    println!("totals: {totals}");
+    println!("exported {}", path.display());
+    Ok(())
+}
+
 fn merge(args: &BenchArgs) -> Result<(), String> {
     if args.files.is_empty() {
         return Err("merge: no shard exports given (pass report.json paths)".into());
+    }
+    if args.stream {
+        return merge_streamed(args);
     }
     let shards = args.files.iter().map(|p| import_report(p)).collect::<Result<Vec<_>, _>>()?;
     let merged = CampaignReport::merge(shards).map_err(|err| err.to_string())?;
     println!("merged {} shard(s): {}", args.files.len(), merged.totals());
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl/merged"));
     export_report(&merged, &out)
+}
+
+/// `merge --stream`: k-way merge of shard `report.jsonl` streams in constant memory.
+///
+/// Pass 1 reads just the totals footers (the JSON document puts totals before the
+/// cells, so the coordinator must know them up front); pass 2 lazily streams the
+/// cells of all shards through the binary-heap merge into `report.json` +
+/// `report.csv`, byte-identical to the in-memory merge. The writers verify the
+/// summed footers against the cells actually streamed, so a lying footer or
+/// truncated shard fails the merge instead of shipping a wrong artifact.
+fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
+    let mut declared = Totals::default();
+    for path in &args.files {
+        let file = File::open(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+        let totals = footer_totals(BufReader::new(file))
+            .map_err(|err| format!("cannot read footer of {path}: {err}"))?;
+        declared += totals;
+    }
+    let mut streams = Vec::new();
+    for path in &args.files {
+        let file = File::open(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+        streams.push(StreamingCells::new(BufReader::new(file)));
+    }
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl/merged"));
+    std::fs::create_dir_all(&out)
+        .map_err(|err| format!("cannot create {}: {err}", out.display()))?;
+    let json_path = out.join("report.json");
+    let csv_path = out.join("report.csv");
+    let result = (|| -> Result<Totals, String> {
+        let json_file = File::create(&json_path)
+            .map_err(|err| format!("cannot write {}: {err}", json_path.display()))?;
+        let csv_file = File::create(&csv_path)
+            .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
+        let mut json = MergedJsonWriter::new(BufWriter::new(json_file), declared)
+            .map_err(|err| format!("cannot start {}: {err}", json_path.display()))?;
+        let mut csv = StreamingCsvWriter::new(BufWriter::new(csv_file))
+            .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
+        for cell in CellMerge::new(streams) {
+            let cell = cell.map_err(|err| format!("streamed merge failed: {err}"))?;
+            json.write_cell(&cell)
+                .map_err(|err| format!("cannot write {}: {err}", json_path.display()))?;
+            csv.write_cell(&cell)
+                .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
+        }
+        let totals =
+            json.finish().map_err(|err| format!("cannot finish {}: {err}", json_path.display()))?;
+        csv.finish().map_err(|err| format!("cannot finish {}: {err}", csv_path.display()))?;
+        Ok(totals)
+    })();
+    let totals = match result {
+        Ok(totals) => totals,
+        Err(message) => {
+            // Never leave a half-written artifact behind a failed merge.
+            let _ = std::fs::remove_file(&json_path);
+            let _ = std::fs::remove_file(&csv_path);
+            return Err(message);
+        }
+    };
+    println!("merged {} shard stream(s): {totals}", args.files.len());
+    println!("exported {} and {}", json_path.display(), csv_path.display());
+    Ok(())
 }
 
 /// Returns `true` when the reports differ in any cell.
@@ -128,7 +258,8 @@ fn main() -> ExitCode {
         "diff" => diff(&args),
         other => Err(format!(
             "unknown subcommand {other:?}; usage: campaign_ctl <run|merge|diff> \
-             [--smoke] [--shard I/K] [--threads N] [--out DIR] [report.json ...]"
+             [--smoke] [--stream] [--shard I/K] [--threads N] [--out DIR] \
+             [report.json|report.jsonl ...]"
         )),
     };
     match result {

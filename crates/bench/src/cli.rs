@@ -10,7 +10,8 @@
 //! * `--seeds N` — seeds per grid cell for seed-sweeping experiments,
 //! * `--shard I/K` — run only shard `I` of `K` of the campaign (1-based),
 //! * `--out DIR` — output directory for exported artifacts,
-//! * `--smoke` — the small CI grid instead of the full sweep.
+//! * `--smoke` — the small CI grid instead of the full sweep,
+//! * `--stream` — streamed export/merge (constant memory; see `campaign_ctl`).
 
 use bsm_engine::{Executor, ShardPlan};
 use std::fmt;
@@ -33,6 +34,9 @@ pub struct BenchArgs {
     pub out: Option<PathBuf>,
     /// `true` when `--smoke` was passed (run the small CI grid).
     pub smoke: bool,
+    /// `true` when `--stream` was passed (streamed export/merge instead of the
+    /// in-memory report path).
+    pub stream: bool,
     /// Non-numeric positional arguments, in order (file paths for subcommands that
     /// consume exports, e.g. `campaign_ctl merge`/`diff`).
     pub files: Vec<String>,
@@ -50,6 +54,7 @@ impl Default for BenchArgs {
             shard: None,
             out: None,
             smoke: false,
+            stream: false,
             files: Vec::new(),
             unknown: Vec::new(),
         }
@@ -95,6 +100,7 @@ impl BenchArgs {
                     None => parsed.unknown.push("--out (expects a directory)".into()),
                 },
                 "--smoke" => parsed.smoke = true,
+                "--stream" => parsed.stream = true,
                 other if other.starts_with("--") => parsed.unknown.push(other.to_string()),
                 other => match other.parse::<usize>() {
                     Ok(k) if parsed.k.is_none() => parsed.k = Some(k),
@@ -134,13 +140,14 @@ impl fmt::Display for BenchArgs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} files={}",
+            "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} stream={} files={}",
             self.k,
             self.verify,
             self.threads,
             self.seeds,
             self.shard.map_or_else(|| "none".to_string(), |p| p.to_string()),
             self.smoke,
+            self.stream,
             self.files.len()
         )
     }
@@ -182,16 +189,27 @@ mod tests {
     }
 
     #[test]
-    fn shard_out_smoke_and_files_parse() {
-        let parsed =
-            args(&["--shard", "2/3", "--out", "target/shards", "--smoke", "a.json", "b.json"]);
+    fn shard_out_smoke_stream_and_files_parse() {
+        let parsed = args(&[
+            "--shard",
+            "2/3",
+            "--out",
+            "target/shards",
+            "--smoke",
+            "--stream",
+            "a.json",
+            "b.json",
+        ]);
         let plan = parsed.shard.expect("--shard 2/3 parses");
         assert_eq!((plan.index(), plan.count()), (1, 3));
         assert_eq!(parsed.out.as_deref(), Some(std::path::Path::new("target/shards")));
         assert!(parsed.smoke);
+        assert!(parsed.stream);
         assert_eq!(parsed.files, vec!["a.json".to_string(), "b.json".to_string()]);
         assert!(parsed.unknown.is_empty());
         assert!(parsed.to_string().contains("shard=2/3"));
+        assert!(parsed.to_string().contains("stream=true"));
+        assert!(!args(&[]).stream, "--stream must be off by default");
     }
 
     #[test]

@@ -74,6 +74,24 @@ impl fmt::Display for Campaign {
 ///
 /// Defaults: sizes `[3]`, every topology, every auth mode, the single corruption pair
 /// `(0, 0)`, every adversary strategy, seeds `0..1`, unsolvable cells included.
+///
+/// # Examples
+///
+/// ```rust
+/// use bsm_engine::CampaignBuilder;
+///
+/// let campaign = CampaignBuilder::new()
+///     .sizes([3, 4])
+///     .corruptions([(0, 0), (1, 1)])
+///     .seeds(0..3)
+///     .build();
+/// // 2 sizes × 3 topologies × 2 auth modes × 2 corruption pairs × 3 adversaries
+/// // × 3 seeds = 216 cells, in canonical (coordinate) order.
+/// assert_eq!(campaign.len(), 216);
+/// let mut sorted = campaign.specs().to_vec();
+/// sorted.sort_unstable();
+/// assert_eq!(sorted, campaign.specs(), "expansion order is coordinate order");
+/// ```
 #[derive(Debug, Clone)]
 pub struct CampaignBuilder {
     sizes: Vec<usize>,

@@ -12,10 +12,11 @@
 use crate::campaign::Campaign;
 use crate::grid::{ScenarioSpec, ShardPlan};
 use crate::progress::Progress;
-use crate::report::{CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats};
+use crate::report::{CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats, Totals};
 use bsm_core::solvability::{characterize, Solvability};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
 /// Name of the environment variable that overrides the default worker-thread count.
@@ -90,6 +91,120 @@ impl Executor {
         plan: ShardPlan,
     ) -> (CampaignReport, ExecutionStats) {
         self.run(&campaign.shard(plan))
+    }
+
+    /// Runs every cell of `campaign`, delivering each completed [`CellRecord`] to
+    /// `sink` **in canonical order** and then dropping it — the full record vector is
+    /// never materialized.
+    ///
+    /// This is the streaming counterpart of [`run`](Self::run) for campaigns too
+    /// large to hold every record in memory: aggregate counters are folded into a
+    /// rolling [`Totals`] (returned alongside the [`ExecutionStats`]), and the sink —
+    /// typically a [`StreamingExporter`] — sees exactly the cell sequence
+    /// [`CampaignReport::cells`] would contain, so a streamed export is byte-identical
+    /// to the in-memory one.
+    ///
+    /// Workers run cells in parallel and complete them out of order; a reorder buffer
+    /// holds cells finished ahead of the emission frontier, and a **bounded** channel
+    /// applies backpressure: when the sink (e.g. a slow disk) falls behind, workers
+    /// block instead of piling completed cells into memory, so cells ahead of the
+    /// frontier stay bounded by a small multiple of the worker count. (Only a
+    /// pathologically slow *head* cell can grow the buffer beyond that — emission
+    /// cannot pass it, but the cells behind it must be received to reach it.)
+    ///
+    /// [`StreamingExporter`]: crate::export::StreamingExporter
+    /// [`CampaignReport::cells`]: crate::report::CampaignReport::cells
+    ///
+    /// # Errors
+    ///
+    /// The first error the sink returns aborts the run and is passed through;
+    /// in-flight cells are finished and discarded.
+    pub fn run_streaming<E>(
+        &self,
+        campaign: &Campaign,
+        mut sink: impl FnMut(CellRecord) -> Result<(), E>,
+    ) -> Result<(Totals, ExecutionStats), E> {
+        let start = Instant::now();
+        let specs = campaign.specs();
+        let total = specs.len();
+        let workers = self.threads.min(total);
+        let progress = self.progress;
+        let cursor = AtomicUsize::new(0);
+        let mut totals = Totals::default();
+        let mut failure: Option<E> = None;
+
+        std::thread::scope(|scope| {
+            // Bounded: a sink slower than the workers must throttle them, not let
+            // completed cells accumulate toward O(campaign) — the cap this mode
+            // exists to remove. Two slots per worker keeps the pipeline full.
+            let (tx, rx) = mpsc::sync_channel::<(usize, CellRecord)>(workers.max(1) * 2);
+            let cursor = &cursor;
+            for _ in 0..workers {
+                let tx = tx.clone();
+                scope.spawn(move || loop {
+                    let idx = cursor.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    // A send error means the receiver gave up (sink failure): stop.
+                    if tx.send((idx, run_cell(specs[idx]))).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Reorder buffer: cells completed ahead of the emission frontier wait
+            // here; `next` is the index the canonical order emits next.
+            let mut pending: BTreeMap<usize, CellRecord> = BTreeMap::new();
+            let mut next = 0usize;
+            'receive: for (idx, record) in rx {
+                pending.insert(idx, record);
+                while let Some(record) = pending.remove(&next) {
+                    totals.record(&record.outcome);
+                    if let Err(err) = sink(record) {
+                        failure = Some(err);
+                        break 'receive;
+                    }
+                    next += 1;
+                    progress.tick(next, total, start);
+                }
+            }
+            // On failure the receiver is dropped here; workers exit on their next
+            // send, and the scope joins them.
+        });
+        if let Some(err) = failure {
+            return Err(err);
+        }
+        let stats = ExecutionStats {
+            threads: self.threads.min(total).max(1),
+            scenarios: total,
+            elapsed: start.elapsed(),
+        };
+        Ok((totals, stats))
+    }
+
+    /// Runs one shard of `campaign` in streaming mode: [`run_streaming`] over the
+    /// shard's slice of the canonical work list (see [`Campaign::shard`]).
+    ///
+    /// This is the distributed entry point for campaigns that do not fit in memory:
+    /// each process streams its shard's cells into a
+    /// [`StreamingExporter`](crate::export::StreamingExporter), and the coordinator
+    /// recombines the shard streams with a k-way
+    /// [`CellMerge`](crate::report::CellMerge) into an export byte-identical to the
+    /// unsharded in-memory run.
+    ///
+    /// [`run_streaming`]: Self::run_streaming
+    ///
+    /// # Errors
+    ///
+    /// The first error the sink returns, as in [`run_streaming`](Self::run_streaming).
+    pub fn run_shard_streaming<E>(
+        &self,
+        campaign: &Campaign,
+        plan: ShardPlan,
+        sink: impl FnMut(CellRecord) -> Result<(), E>,
+    ) -> Result<(Totals, ExecutionStats), E> {
+        self.run_streaming(&campaign.shard(plan), sink)
     }
 
     /// Applies `f` to every item on the worker pool, returning the results **in input
@@ -248,6 +363,76 @@ mod tests {
             rejoined.extend_from_slice(report.cells());
         }
         assert_eq!(rejoined, whole.cells(), "shard runs diverge from the whole run");
+    }
+
+    #[test]
+    fn streaming_run_emits_the_in_memory_cell_sequence_without_retaining_it() {
+        let campaign =
+            CampaignBuilder::new().sizes([2, 3]).corruptions([(0, 0), (1, 1)]).seeds(0..2).build();
+        let (reference, _) = Executor::new().threads(1).run(&campaign);
+        let mut streamed = Vec::new();
+        let (totals, stats) = Executor::new()
+            .threads(4)
+            .run_streaming(&campaign, |cell| {
+                streamed.push(cell);
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+        assert_eq!(streamed, reference.cells());
+        assert_eq!(totals, reference.totals());
+        assert_eq!(stats.scenarios, campaign.len());
+    }
+
+    #[test]
+    fn streaming_shard_runs_cover_exactly_the_shard_slice() {
+        let campaign = CampaignBuilder::new().sizes([2, 3]).seeds(0..2).build();
+        let executor = Executor::new().threads(2);
+        let (whole, _) = executor.run(&campaign);
+        let mut rejoined = Vec::new();
+        let mut summed = Totals::default();
+        for index in 0..3 {
+            let plan = ShardPlan::new(index, 3).unwrap();
+            let (totals, stats) = executor
+                .run_shard_streaming(&campaign, plan, |cell| {
+                    rejoined.push(cell);
+                    Ok::<(), std::convert::Infallible>(())
+                })
+                .unwrap();
+            assert_eq!(stats.scenarios, plan.range(campaign.len()).len());
+            summed += totals;
+        }
+        assert_eq!(rejoined, whole.cells());
+        assert_eq!(summed, whole.totals());
+    }
+
+    #[test]
+    fn streaming_run_aborts_on_the_first_sink_error() {
+        let campaign = CampaignBuilder::new().sizes([3]).seeds(0..2).build();
+        let mut emitted = 0usize;
+        let err = Executor::new()
+            .threads(2)
+            .run_streaming(&campaign, |_| {
+                emitted += 1;
+                if emitted == 3 {
+                    Err("sink full")
+                } else {
+                    Ok(())
+                }
+            })
+            .unwrap_err();
+        assert_eq!(err, "sink full");
+        assert_eq!(emitted, 3, "no cell may be emitted after the sink fails");
+    }
+
+    #[test]
+    fn streaming_run_of_an_empty_campaign_is_empty() {
+        let campaign = Campaign::from_specs(Vec::new());
+        let (totals, stats) = Executor::new()
+            .threads(4)
+            .run_streaming(&campaign, |_| Err("must not be called"))
+            .unwrap();
+        assert_eq!(totals, Totals::default());
+        assert_eq!(stats.scenarios, 0);
     }
 
     #[test]

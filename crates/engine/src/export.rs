@@ -1,12 +1,36 @@
 //! Structured result export: hand-rolled JSON and CSV writers (no serde).
 //!
-//! Both writers are pure functions of a [`CampaignReport`]: key order, number
+//! Both document writers are pure functions of a [`CampaignReport`]: key order, number
 //! formatting and row order are all fixed, so two runs of the same campaign — with any
 //! thread counts — export byte-identical documents. Timing data never appears here by
 //! construction (it lives in [`crate::report::ExecutionStats`]).
+//!
+//! # Streaming writers
+//!
+//! Campaigns too large to hold every [`CellRecord`] in memory use the streaming
+//! writers instead of the in-memory [`to_json`]/[`to_csv`] pair:
+//!
+//! * [`StreamingExporter`] — the **shard side**: writes one [`cell_json`] line per
+//!   completed cell (in strictly increasing coordinate order, enforced) and closes the
+//!   stream with a rolling-[`Totals`] footer line. The format is JSON lines, read back
+//!   lazily by [`crate::import::StreamingCells`].
+//! * [`MergedJsonWriter`] — the **coordinator side**: given the merged totals up front
+//!   (summed from shard footers), reproduces the [`to_json`] document byte for byte
+//!   from a stream of merged cells, verifying the folded totals at
+//!   [`finish`](MergedJsonWriter::finish).
+//! * [`StreamingCsvWriter`] — reproduces the [`to_csv`] document byte for byte from
+//!   the same merged stream (CSV has no totals, so no up-front knowledge is needed).
+//!
+//! All three enforce the canonical-coordinate-order invariant: cells must arrive in
+//! strictly increasing [`ScenarioSpec`] order, which is what makes the streamed merge
+//! byte-identical to the in-memory [`CampaignReport::merge`] path.
+//!
+//! [`CampaignReport::merge`]: crate::report::CampaignReport::merge
 
-use crate::report::{CampaignReport, CellOutcome, CellRecord};
+use crate::grid::ScenarioSpec;
+use crate::report::{CampaignReport, CellOutcome, CellRecord, Totals};
 use std::fmt::Write as _;
+use std::io::Write;
 
 /// Escapes a string for inclusion in a JSON document (quotes, backslashes, control
 /// characters; non-ASCII passes through as UTF-8).
@@ -47,21 +71,13 @@ fn spec_json(record: &CellRecord) -> String {
     )
 }
 
-/// Renders a campaign report as a pretty-printed JSON document.
-///
-/// Layout: a `totals` object with the aggregate counters, then a `cells` array with
-/// one object per cell in canonical order. Cell objects always carry the grid
-/// coordinates and a `status`; completed cells add the outcome stats, unsolvable cells
-/// the theorem and reason, failed cells the error message.
-pub fn to_json(report: &CampaignReport) -> String {
-    let totals = report.totals();
-    let mut out = String::new();
-    out.push_str("{\n");
-    let _ = writeln!(
-        out,
-        "  \"totals\": {{\"scenarios\": {}, \"completed\": {}, \"solved_clean\": {}, \
+/// Renders the aggregate counters as the JSON object used by [`to_json`]'s `totals`
+/// field and by the streamed-export footer line (fixed key order, integers only).
+pub fn totals_json(totals: &Totals) -> String {
+    format!(
+        "{{\"scenarios\": {}, \"completed\": {}, \"solved_clean\": {}, \
          \"unsolvable\": {}, \"failed\": {}, \"violations\": {}, \"slots\": {}, \
-         \"messages\": {}, \"signatures\": {}}},",
+         \"messages\": {}, \"signatures\": {}}}",
         totals.scenarios,
         totals.completed,
         totals.solved_clean,
@@ -71,35 +87,57 @@ pub fn to_json(report: &CampaignReport) -> String {
         totals.slots,
         totals.messages,
         totals.signatures
-    );
-    out.push_str("  \"cells\": [\n");
-    for (i, cell) in report.cells().iter().enumerate() {
-        let tail = match &cell.outcome {
-            CellOutcome::Completed(stats) => format!(
-                "\"plan\": \"{}\", \"all_honest_decided\": {}, \"violations\": {}, \
-                 \"slots\": {}, \"messages\": {}, \"signatures\": {}",
-                json_escape(&stats.plan.to_string()),
-                stats.all_honest_decided,
-                stats.violations,
-                stats.slots,
-                stats.messages,
-                stats.signatures
-            ),
-            CellOutcome::Unsolvable { theorem, reason } => format!(
+    )
+}
+
+/// Renders one cell as the JSON object used by [`to_json`]'s `cells` array and, one
+/// object per line, by the streamed shard export.
+///
+/// The object always carries the grid coordinates and a `status`; completed cells add
+/// the outcome stats, unsolvable cells the theorem and reason, failed cells the error
+/// message.
+pub fn cell_json(cell: &CellRecord) -> String {
+    let tail = match &cell.outcome {
+        CellOutcome::Completed(stats) => format!(
+            "\"plan\": \"{}\", \"all_honest_decided\": {}, \"violations\": {}, \
+             \"slots\": {}, \"messages\": {}, \"signatures\": {}",
+            json_escape(&stats.plan.to_string()),
+            stats.all_honest_decided,
+            stats.violations,
+            stats.slots,
+            stats.messages,
+            stats.signatures
+        ),
+        CellOutcome::Unsolvable { theorem, reason } => {
+            format!(
                 "\"theorem\": \"{}\", \"reason\": \"{}\"",
                 json_escape(theorem),
                 json_escape(reason)
-            ),
-            CellOutcome::Failed { message } => {
-                format!("\"message\": \"{}\"", json_escape(message))
-            }
-        };
+            )
+        }
+        CellOutcome::Failed { message } => {
+            format!("\"message\": \"{}\"", json_escape(message))
+        }
+    };
+    format!("{{{}, \"status\": \"{}\", {}}}", spec_json(cell), cell.outcome.status(), tail)
+}
+
+/// Renders a campaign report as a pretty-printed JSON document.
+///
+/// Layout: a `totals` object with the aggregate counters ([`totals_json`]), then a
+/// `cells` array with one [`cell_json`] object per cell in canonical order. The
+/// streaming counterpart — identical bytes without materializing the report — is
+/// [`MergedJsonWriter`].
+pub fn to_json(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"totals\": {},", totals_json(&report.totals()));
+    out.push_str("  \"cells\": [\n");
+    for (i, cell) in report.cells().iter().enumerate() {
         let _ = writeln!(
             out,
-            "    {{{}, \"status\": \"{}\", {}}}{}",
-            spec_json(cell),
-            cell.outcome.status(),
-            tail,
+            "    {}{}",
+            cell_json(cell),
             if i + 1 == report.cells().len() { "" } else { "," }
         );
     }
@@ -111,65 +149,321 @@ pub fn to_json(report: &CampaignReport) -> String {
 pub const CSV_HEADER: &str =
     "k,topology,auth,t_l,t_r,adversary,seed,status,plan,all_honest_decided,violations,slots,messages,signatures,detail";
 
-/// Renders a campaign report as CSV: [`CSV_HEADER`] then one row per cell in
-/// canonical order. Outcome-specific columns are left empty when they do not apply;
-/// `detail` carries the impossibility theorem/reason or the failure message.
+/// Renders one cell as its [`to_csv`] row (no trailing newline).
+///
+/// Outcome-specific columns are left empty when they do not apply; `detail` carries
+/// the impossibility theorem/reason or the failure message.
+pub fn csv_row(cell: &CellRecord) -> String {
+    let s = &cell.spec;
+    let (plan, decided, violations, slots, messages, signatures, detail) = match &cell.outcome {
+        CellOutcome::Completed(stats) => (
+            stats.plan.to_string(),
+            stats.all_honest_decided.to_string(),
+            stats.violations.to_string(),
+            stats.slots.to_string(),
+            stats.messages.to_string(),
+            stats.signatures.to_string(),
+            String::new(),
+        ),
+        CellOutcome::Unsolvable { theorem, reason } => (
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{theorem}: {reason}"),
+        ),
+        CellOutcome::Failed { message } => (
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            String::new(),
+            message.clone(),
+        ),
+    };
+    format!(
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        s.k,
+        csv_field(&s.topology.to_string()),
+        csv_field(&s.auth.to_string()),
+        s.t_l,
+        s.t_r,
+        csv_field(&s.adversary.to_string()),
+        s.seed,
+        cell.outcome.status(),
+        csv_field(&plan),
+        decided,
+        violations,
+        slots,
+        messages,
+        signatures,
+        csv_field(&detail)
+    )
+}
+
+/// Renders a campaign report as CSV: [`CSV_HEADER`] then one [`csv_row`] per cell in
+/// canonical order. The streaming counterpart is [`StreamingCsvWriter`].
 pub fn to_csv(report: &CampaignReport) -> String {
     let mut out = String::new();
     out.push_str(CSV_HEADER);
     out.push('\n');
     for cell in report.cells() {
-        let s = &cell.spec;
-        let (plan, decided, violations, slots, messages, signatures, detail) = match &cell.outcome {
-            CellOutcome::Completed(stats) => (
-                stats.plan.to_string(),
-                stats.all_honest_decided.to_string(),
-                stats.violations.to_string(),
-                stats.slots.to_string(),
-                stats.messages.to_string(),
-                stats.signatures.to_string(),
-                String::new(),
-            ),
-            CellOutcome::Unsolvable { theorem, reason } => (
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                format!("{theorem}: {reason}"),
-            ),
-            CellOutcome::Failed { message } => (
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                String::new(),
-                message.clone(),
-            ),
-        };
-        let _ = writeln!(
-            out,
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
-            s.k,
-            csv_field(&s.topology.to_string()),
-            csv_field(&s.auth.to_string()),
-            s.t_l,
-            s.t_r,
-            csv_field(&s.adversary.to_string()),
-            s.seed,
-            cell.outcome.status(),
-            csv_field(&plan),
-            decided,
-            violations,
-            slots,
-            messages,
-            signatures,
-            csv_field(&detail)
-        );
+        let _ = writeln!(out, "{}", csv_row(cell));
     }
     out
+}
+
+// ---------------------------------------------------------------------------
+// Streaming writers
+// ---------------------------------------------------------------------------
+
+/// Errors of the streaming writers.
+#[derive(Debug)]
+pub enum StreamError {
+    /// Writing to the underlying sink failed.
+    Io(std::io::Error),
+    /// A cell arrived at or before the previous cell's coordinates, breaking the
+    /// strictly-increasing canonical order the streamed formats require.
+    OutOfOrder {
+        /// Coordinates of the previously written cell.
+        previous: ScenarioSpec,
+        /// Coordinates of the offending cell.
+        next: ScenarioSpec,
+    },
+    /// At [`MergedJsonWriter::finish`], the totals folded from the streamed cells
+    /// disagree with the totals declared up front — a shard footer lied, or a shard
+    /// stream was silently truncated. (Boxed to keep the `Err` variant small.)
+    TotalsMismatch {
+        /// The totals the document header was written with.
+        declared: Box<Totals>,
+        /// The totals folded from the cells actually streamed.
+        folded: Box<Totals>,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::Io(err) => write!(f, "stream write failed: {err}"),
+            StreamError::OutOfOrder { previous, next } => {
+                write!(f, "cell out of canonical coordinate order: {next} after {previous}")
+            }
+            StreamError::TotalsMismatch { declared, folded } => write!(
+                f,
+                "streamed cells do not match the declared totals: declared [{declared}], \
+                 folded [{folded}]"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StreamError::Io(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StreamError {
+    fn from(err: std::io::Error) -> Self {
+        StreamError::Io(err)
+    }
+}
+
+/// Enforces the strictly-increasing canonical coordinate order shared by every
+/// streaming writer.
+fn check_order(last: &mut Option<ScenarioSpec>, next: ScenarioSpec) -> Result<(), StreamError> {
+    if let Some(previous) = *last {
+        if next <= previous {
+            return Err(StreamError::OutOfOrder { previous, next });
+        }
+    }
+    *last = Some(next);
+    Ok(())
+}
+
+/// The shard-side streaming exporter: coordinate-sorted [`cell_json`] lines plus a
+/// rolling-[`Totals`] footer, written as cells complete.
+///
+/// This is what lets a shard run campaigns too large to hold every [`CellRecord`] in
+/// memory: [`Executor::run_shard_streaming`] folds each completed cell into the
+/// rolling totals, hands it to [`write_cell`](Self::write_cell), and drops it. The
+/// resulting document is JSON lines — one cell object per line, byte-identical to the
+/// objects in [`to_json`]'s `cells` array, closed by a `{"totals": {...}}` footer
+/// line that [`crate::import::StreamingCells`] verifies against the streamed cells.
+///
+/// Cells must arrive in strictly increasing coordinate order (shard runs of built
+/// campaigns always do); out-of-order writes are rejected so a malformed stream can
+/// never be exported in the first place.
+///
+/// [`Executor::run_shard_streaming`]: crate::executor::Executor::run_shard_streaming
+#[derive(Debug)]
+pub struct StreamingExporter<W: Write> {
+    writer: W,
+    totals: Totals,
+    last: Option<ScenarioSpec>,
+}
+
+impl<W: Write> StreamingExporter<W> {
+    /// Starts a streamed export over `writer` (nothing is written until the first
+    /// cell).
+    pub fn new(writer: W) -> Self {
+        Self { writer, totals: Totals::default(), last: None }
+    }
+
+    /// Writes one cell line and folds it into the rolling totals.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::OutOfOrder`] when `cell` does not follow the previous cell in
+    /// canonical coordinate order; [`StreamError::Io`] on write failure.
+    pub fn write_cell(&mut self, cell: &CellRecord) -> Result<(), StreamError> {
+        check_order(&mut self.last, cell.spec)?;
+        writeln!(self.writer, "{}", cell_json(cell))?;
+        self.totals.record(&cell.outcome);
+        Ok(())
+    }
+
+    /// The totals folded so far.
+    pub fn totals(&self) -> Totals {
+        self.totals
+    }
+
+    /// Writes the totals footer, flushes the sink and returns the final totals.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] on write or flush failure.
+    pub fn finish(mut self) -> Result<Totals, StreamError> {
+        writeln!(self.writer, "{{\"totals\": {}}}", totals_json(&self.totals))?;
+        self.writer.flush()?;
+        Ok(self.totals)
+    }
+}
+
+/// The coordinator-side streaming writer: reproduces the [`to_json`] document byte
+/// for byte from a stream of merged cells, without materializing a report.
+///
+/// The [`to_json`] layout puts the totals *before* the cells, so a streaming writer
+/// must know them up front: the coordinator sums the per-shard footer totals (see
+/// [`crate::import::footer_totals`]) and passes the sum to [`new`](Self::new), which
+/// writes the document header. Every [`write_cell`](Self::write_cell) then appends
+/// one cell in canonical order, and [`finish`](Self::finish) closes the document —
+/// verifying that the totals folded from the streamed cells match the declared ones,
+/// so a lying footer or a truncated shard stream cannot produce a silently wrong
+/// document.
+#[derive(Debug)]
+pub struct MergedJsonWriter<W: Write> {
+    writer: W,
+    declared: Totals,
+    folded: Totals,
+    last: Option<ScenarioSpec>,
+    /// The previous cell's rendered line, held back until we know whether a comma
+    /// follows it (`to_json` separates cells with commas but leaves none after the
+    /// last).
+    pending: Option<String>,
+}
+
+impl<W: Write> MergedJsonWriter<W> {
+    /// Writes the document header (`totals` first, then the opening of the `cells`
+    /// array) and prepares for streamed cells.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] on write failure.
+    pub fn new(mut writer: W, totals: Totals) -> Result<Self, StreamError> {
+        write!(writer, "{{\n  \"totals\": {},\n  \"cells\": [\n", totals_json(&totals))?;
+        Ok(Self { writer, declared: totals, folded: Totals::default(), last: None, pending: None })
+    }
+
+    /// Appends one merged cell (strictly increasing coordinate order required).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::OutOfOrder`] for order violations, [`StreamError::Io`] on write
+    /// failure.
+    pub fn write_cell(&mut self, cell: &CellRecord) -> Result<(), StreamError> {
+        check_order(&mut self.last, cell.spec)?;
+        if let Some(previous) = self.pending.take() {
+            writeln!(self.writer, "{previous},")?;
+        }
+        self.pending = Some(format!("    {}", cell_json(cell)));
+        self.folded.record(&cell.outcome);
+        Ok(())
+    }
+
+    /// Closes the `cells` array and the document, verifies the folded totals against
+    /// the declared ones, flushes and returns the totals.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::TotalsMismatch`] when the streamed cells do not add up to the
+    /// declared totals (the written document is invalid and should be discarded);
+    /// [`StreamError::Io`] on write or flush failure.
+    pub fn finish(mut self) -> Result<Totals, StreamError> {
+        if let Some(previous) = self.pending.take() {
+            writeln!(self.writer, "{previous}")?;
+        }
+        write!(self.writer, "  ]\n}}\n")?;
+        self.writer.flush()?;
+        if self.declared != self.folded {
+            return Err(StreamError::TotalsMismatch {
+                declared: Box::new(self.declared),
+                folded: Box::new(self.folded),
+            });
+        }
+        Ok(self.folded)
+    }
+}
+
+/// Streaming counterpart of [`to_csv`]: the header row at construction, then one
+/// [`csv_row`] per cell in canonical order — byte-identical to the in-memory export.
+///
+/// CSV carries no totals, so unlike [`MergedJsonWriter`] nothing needs to be known up
+/// front.
+#[derive(Debug)]
+pub struct StreamingCsvWriter<W: Write> {
+    writer: W,
+    last: Option<ScenarioSpec>,
+}
+
+impl<W: Write> StreamingCsvWriter<W> {
+    /// Writes the [`CSV_HEADER`] row and prepares for streamed cells.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] on write failure.
+    pub fn new(mut writer: W) -> Result<Self, StreamError> {
+        writeln!(writer, "{CSV_HEADER}")?;
+        Ok(Self { writer, last: None })
+    }
+
+    /// Appends one cell row (strictly increasing coordinate order required).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::OutOfOrder`] for order violations, [`StreamError::Io`] on write
+    /// failure.
+    pub fn write_cell(&mut self, cell: &CellRecord) -> Result<(), StreamError> {
+        check_order(&mut self.last, cell.spec)?;
+        writeln!(self.writer, "{}", csv_row(cell))?;
+        Ok(())
+    }
+
+    /// Flushes the sink.
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] on flush failure.
+    pub fn finish(mut self) -> Result<(), StreamError> {
+        self.writer.flush()?;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -262,5 +556,98 @@ mod tests {
         let (four, _) = Executor::new().threads(4).run(&campaign);
         assert_eq!(to_json(&one), to_json(&four));
         assert_eq!(to_csv(&one), to_csv(&four));
+    }
+
+    fn small_report() -> CampaignReport {
+        let campaign = CampaignBuilder::new().sizes([2, 3]).corruptions([(0, 0), (1, 1)]).build();
+        Executor::new().threads(2).run(&campaign).0
+    }
+
+    #[test]
+    fn streaming_exporter_writes_cell_lines_and_a_totals_footer() {
+        let report = small_report();
+        let mut buf = Vec::new();
+        let mut exporter = StreamingExporter::new(&mut buf);
+        for cell in report.cells() {
+            exporter.write_cell(cell).unwrap();
+        }
+        assert_eq!(exporter.totals(), report.totals());
+        let totals = exporter.finish().unwrap();
+        assert_eq!(totals, report.totals());
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), report.cells().len() + 1);
+        for (line, cell) in lines.iter().zip(report.cells()) {
+            assert_eq!(*line, cell_json(cell));
+        }
+        let footer = lines.last().unwrap();
+        assert_eq!(*footer, format!("{{\"totals\": {}}}", totals_json(&report.totals())));
+    }
+
+    #[test]
+    fn streaming_writers_reject_out_of_order_and_duplicate_cells() {
+        let report = small_report();
+        let (a, b) = (&report.cells()[0], &report.cells()[1]);
+        let mut exporter = StreamingExporter::new(Vec::new());
+        exporter.write_cell(b).unwrap();
+        let err = exporter.write_cell(a).unwrap_err();
+        assert!(matches!(err, StreamError::OutOfOrder { .. }), "{err}");
+        assert!(err.to_string().contains("out of canonical coordinate order"), "{err}");
+        // A duplicate is an order violation too (strictly increasing required).
+        let mut exporter = StreamingExporter::new(Vec::new());
+        exporter.write_cell(a).unwrap();
+        assert!(exporter.write_cell(a).is_err());
+        let mut csv = StreamingCsvWriter::new(Vec::new()).unwrap();
+        csv.write_cell(b).unwrap();
+        assert!(csv.write_cell(a).is_err());
+        let mut json = MergedJsonWriter::new(Vec::new(), report.totals()).unwrap();
+        json.write_cell(b).unwrap();
+        assert!(json.write_cell(a).is_err());
+    }
+
+    #[test]
+    fn merged_json_writer_reproduces_to_json_byte_for_byte() {
+        let report = small_report();
+        let mut buf = Vec::new();
+        let mut writer = MergedJsonWriter::new(&mut buf, report.totals()).unwrap();
+        for cell in report.cells() {
+            writer.write_cell(cell).unwrap();
+        }
+        assert_eq!(writer.finish().unwrap(), report.totals());
+        assert_eq!(String::from_utf8(buf).unwrap(), to_json(&report));
+    }
+
+    #[test]
+    fn merged_json_writer_handles_the_empty_report() {
+        let empty = CampaignReport::new(Vec::new());
+        let mut buf = Vec::new();
+        let writer = MergedJsonWriter::new(&mut buf, empty.totals()).unwrap();
+        writer.finish().unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), to_json(&empty));
+    }
+
+    #[test]
+    fn merged_json_writer_detects_totals_mismatch_at_finish() {
+        let report = small_report();
+        // Declare the full totals but stream one cell short.
+        let mut writer = MergedJsonWriter::new(Vec::new(), report.totals()).unwrap();
+        for cell in &report.cells()[..report.cells().len() - 1] {
+            writer.write_cell(cell).unwrap();
+        }
+        let err = writer.finish().unwrap_err();
+        assert!(matches!(err, StreamError::TotalsMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("declared ["), "{err}");
+    }
+
+    #[test]
+    fn streaming_csv_writer_reproduces_to_csv_byte_for_byte() {
+        let report = small_report();
+        let mut buf = Vec::new();
+        let mut writer = StreamingCsvWriter::new(&mut buf).unwrap();
+        for cell in report.cells() {
+            writer.write_cell(cell).unwrap();
+        }
+        writer.finish().unwrap();
+        assert_eq!(String::from_utf8(buf).unwrap(), to_csv(&report));
     }
 }

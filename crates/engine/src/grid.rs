@@ -18,6 +18,18 @@ use std::str::FromStr;
 /// `ScenarioSpec` is `Copy`: moving a cell to a worker thread costs a few machine
 /// words, and the expensive state (preference profile, PKI, runtimes) is built inside
 /// the worker from the seed.
+///
+/// The derived `Ord` (field order below: size, topology, auth, corruption pair,
+/// adversary, seed) **is** the canonical coordinate order — the order
+/// [`CampaignBuilder::build`] expands in, [`CampaignReport::merge`] restores, the
+/// streaming writers enforce, and the k-way [`CellMerge`] yields. Reordering these
+/// fields would silently change every export; the determinism tests
+/// (`campaign_determinism.rs`, `shard_merge.rs`, `streaming_merge.rs`) exist to catch
+/// exactly that.
+///
+/// [`CampaignBuilder::build`]: crate::campaign::CampaignBuilder::build
+/// [`CampaignReport::merge`]: crate::report::CampaignReport::merge
+/// [`CellMerge`]: crate::report::CellMerge
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ScenarioSpec {
     /// Market size (parties per side).

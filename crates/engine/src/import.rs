@@ -13,6 +13,16 @@
 //! [`ImportError`]. Totals in the document are *verified* against the cells rather
 //! than trusted, so a hand-edited or truncated document cannot smuggle in
 //! inconsistent aggregates.
+//!
+//! # Streaming import
+//!
+//! Streamed shard exports (JSON lines written by [`crate::export::StreamingExporter`])
+//! are read back with [`StreamingCells`], an iterator that parses one cell per line
+//! without ever loading the whole document — the lazy per-shard cell source the k-way
+//! [`crate::report::CellMerge`] runs over. The totals footer closing the stream is
+//! verified against the cells actually yielded, and [`footer_totals`] reads just that
+//! footer (one O(1)-memory pass) so a merge coordinator can pre-compute the merged
+//! totals before streaming a single cell.
 
 use crate::grid::ScenarioSpec;
 use crate::report::{CampaignReport, CellOutcome, CellRecord, CellStats, Totals};
@@ -22,6 +32,7 @@ use bsm_core::solvability::ProtocolPlan;
 use bsm_matching::Side;
 use bsm_net::Topology;
 use std::fmt;
+use std::io::BufRead;
 
 /// Errors produced while importing an exported campaign document.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -35,6 +46,16 @@ pub enum ImportError {
     },
     /// The document is valid JSON but does not match the export schema.
     Schema(String),
+    /// Reading the underlying stream failed (I/O, not syntax).
+    Io(String),
+    /// A streamed (JSON lines) document broke the stream contract at a line.
+    Stream {
+        /// 1-based line number of the offending line (0: the failure is not tied to
+        /// one line, e.g. a missing footer at end of stream).
+        line: usize,
+        /// What went wrong, including any nested parse error.
+        message: String,
+    },
 }
 
 impl fmt::Display for ImportError {
@@ -44,6 +65,13 @@ impl fmt::Display for ImportError {
                 write!(f, "JSON syntax error at byte {offset}: {message}")
             }
             ImportError::Schema(message) => write!(f, "campaign schema error: {message}"),
+            ImportError::Io(message) => write!(f, "stream read failed: {message}"),
+            ImportError::Stream { line: 0, message } => {
+                write!(f, "streamed campaign error: {message}")
+            }
+            ImportError::Stream { line, message } => {
+                write!(f, "streamed campaign error at line {line}: {message}")
+            }
         }
     }
 }
@@ -412,10 +440,9 @@ fn parse_cell(value: &Value) -> Result<CellRecord, ImportError> {
     Ok(CellRecord { spec, outcome })
 }
 
-/// Verifies the document's `totals` object against the totals recomputed from the
-/// imported cells — a tampered or truncated document fails loudly here.
-fn verify_totals(fields: &[(String, Value)], recomputed: Totals) -> Result<(), ImportError> {
-    let declared = Totals {
+/// Parses a `totals` object's fields into a [`Totals`].
+fn parse_totals(fields: &[(String, Value)]) -> Result<Totals, ImportError> {
+    Ok(Totals {
         scenarios: usize_field(fields, "scenarios")?,
         completed: usize_field(fields, "completed")?,
         solved_clean: usize_field(fields, "solved_clean")?,
@@ -425,7 +452,13 @@ fn verify_totals(fields: &[(String, Value)], recomputed: Totals) -> Result<(), I
         slots: number(fields, "slots")?,
         messages: number(fields, "messages")?,
         signatures: number(fields, "signatures")?,
-    };
+    })
+}
+
+/// Verifies the document's `totals` object against the totals recomputed from the
+/// imported cells — a tampered or truncated document fails loudly here.
+fn verify_totals(fields: &[(String, Value)], recomputed: Totals) -> Result<(), ImportError> {
+    let declared = parse_totals(fields)?;
     if declared != recomputed {
         return Err(schema(format!(
             "totals do not match the cells: declared [{declared}], recomputed [{recomputed}]"
@@ -458,12 +491,253 @@ pub fn from_json(json: &str) -> Result<CampaignReport, ImportError> {
     Ok(report)
 }
 
+// ---------------------------------------------------------------------------
+// Streaming import (JSON lines)
+// ---------------------------------------------------------------------------
+
+/// What a parsed stream line turned out to be.
+enum StreamLine {
+    Cell(CellRecord),
+    Footer(Totals),
+}
+
+/// Parses one line of a streamed shard export: either a cell object or the
+/// `{"totals": {...}}` footer.
+fn parse_stream_line(text: &str) -> Result<StreamLine, ImportError> {
+    let value = Parser::new(text).parse_document()?;
+    let fields = as_object(&value, "stream line")?;
+    if let [(key, totals_value)] = fields.as_slice() {
+        if key == "totals" {
+            let totals_fields = as_object(totals_value, "totals")?;
+            return Ok(StreamLine::Footer(parse_totals(&totals_fields)?));
+        }
+    }
+    Ok(StreamLine::Cell(parse_cell(&value)?))
+}
+
+/// A lazy cell iterator over a streamed shard export — the inverse of
+/// [`crate::export::StreamingExporter`], reading one line at a time so a document of
+/// any size is imported in constant memory.
+///
+/// The iterator yields `Ok(cell)` per cell line, in the strictly increasing canonical
+/// coordinate order it verifies as it goes, and ends (`None`) only after a well-formed
+/// totals footer whose counters match the cells actually streamed. Every contract
+/// violation — unparsable line, out-of-order cell, truncated stream (EOF before the
+/// footer, including a cut-off cell line), a footer disagreeing with the cells, or
+/// content after the footer — is yielded as one `Err` carrying the line number, after
+/// which the iterator fuses to `None`.
+///
+/// This is the per-shard cell source the streaming k-way merge
+/// ([`crate::report::CellMerge`]) runs over.
+#[derive(Debug)]
+pub struct StreamingCells<R: BufRead> {
+    reader: R,
+    /// Line buffer reused across the whole stream (one allocation, not one per line).
+    buf: String,
+    line: usize,
+    folded: Totals,
+    last: Option<ScenarioSpec>,
+    state: StreamState,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamState {
+    /// Still expecting cell lines (or the footer).
+    Cells,
+    /// Footer verified; the stream ended cleanly.
+    Done,
+    /// An error was yielded; the iterator is fused.
+    Failed,
+}
+
+impl<R: BufRead> StreamingCells<R> {
+    /// Starts streaming cells from `reader` (nothing is read until the first
+    /// [`next`](Iterator::next)).
+    pub fn new(reader: R) -> Self {
+        Self {
+            reader,
+            buf: String::new(),
+            line: 0,
+            folded: Totals::default(),
+            last: None,
+            state: StreamState::Cells,
+        }
+    }
+
+    /// The totals folded from the cells yielded so far. After the iterator has ended
+    /// without an error, these are the verified totals of the whole stream.
+    pub fn totals(&self) -> Totals {
+        self.folded
+    }
+
+    /// `true` once the totals footer has been read and verified.
+    pub fn finished(&self) -> bool {
+        self.state == StreamState::Done
+    }
+
+    /// Fails the stream: fuses the iterator and yields `err`.
+    fn fail(&mut self, err: ImportError) -> Option<Result<CellRecord, ImportError>> {
+        self.state = StreamState::Failed;
+        Some(Err(err))
+    }
+
+    /// A [`ImportError::Stream`] at the current line.
+    fn stream_error(&self, message: impl Into<String>) -> ImportError {
+        ImportError::Stream { line: self.line, message: message.into() }
+    }
+
+    /// Reads the next line into the reused buffer (`self.buf`); `Ok(false)` at EOF.
+    fn read_line(&mut self) -> Result<bool, ImportError> {
+        self.buf.clear();
+        let read =
+            self.reader.read_line(&mut self.buf).map_err(|err| ImportError::Io(err.to_string()))?;
+        if read == 0 {
+            return Ok(false);
+        }
+        self.line += 1;
+        while self.buf.ends_with('\n') || self.buf.ends_with('\r') {
+            self.buf.pop();
+        }
+        Ok(true)
+    }
+}
+
+impl<R: BufRead> Iterator for StreamingCells<R> {
+    type Item = Result<CellRecord, ImportError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.state != StreamState::Cells {
+            return None;
+        }
+        match self.read_line() {
+            Err(err) => return self.fail(err),
+            Ok(false) => {
+                return self.fail(ImportError::Stream {
+                    line: 0,
+                    message: "stream ended without a totals footer (truncated export?)".into(),
+                });
+            }
+            Ok(true) => {}
+        }
+        if self.buf.trim().is_empty() {
+            return self.fail(self.stream_error("blank line in cell stream"));
+        }
+        let parsed = match parse_stream_line(&self.buf) {
+            Ok(parsed) => parsed,
+            Err(err) => {
+                let err = self.stream_error(err.to_string());
+                return self.fail(err);
+            }
+        };
+        match parsed {
+            StreamLine::Footer(declared) => {
+                if declared != self.folded {
+                    let (folded, line) = (self.folded, self.line);
+                    return self.fail(ImportError::Stream {
+                        line,
+                        message: format!(
+                            "totals footer does not match the streamed cells: declared \
+                             [{declared}], folded [{folded}]"
+                        ),
+                    });
+                }
+                // The footer must be the last line of the stream.
+                loop {
+                    match self.read_line() {
+                        Err(err) => return self.fail(err),
+                        Ok(false) => break,
+                        Ok(true) if self.buf.trim().is_empty() => {}
+                        Ok(true) => {
+                            let err = self.stream_error("content after the totals footer");
+                            return self.fail(err);
+                        }
+                    }
+                }
+                self.state = StreamState::Done;
+                None
+            }
+            StreamLine::Cell(record) => {
+                if let Some(previous) = self.last {
+                    if record.spec <= previous {
+                        let err = self.stream_error(format!(
+                            "cells out of canonical coordinate order: {} after {previous}",
+                            record.spec
+                        ));
+                        return self.fail(err);
+                    }
+                }
+                self.last = Some(record.spec);
+                self.folded.record(&record.outcome);
+                Some(Ok(record))
+            }
+        }
+    }
+}
+
+/// Reads just the totals footer of a streamed shard export in one constant-memory
+/// forward pass: cell lines are skipped without being parsed (or allocated — two
+/// line buffers are reused across the whole file), and only the last non-empty line
+/// is interpreted.
+///
+/// This is how a merge coordinator learns the merged totals *before* streaming any
+/// cell: sum the footers of all shards, hand the sum to
+/// [`crate::export::MergedJsonWriter::new`], and let the writer's finish-time
+/// verification catch any footer that lied.
+///
+/// # Errors
+///
+/// [`ImportError::Io`] on read failure, [`ImportError::Stream`] when the stream is
+/// empty or its last line is not a well-formed `{"totals": {...}}` footer.
+pub fn footer_totals<R: BufRead>(mut reader: R) -> Result<Totals, ImportError> {
+    let mut buf = String::new();
+    let mut last = String::new();
+    let (mut line, mut last_line) = (0usize, 0usize);
+    loop {
+        buf.clear();
+        let read = reader.read_line(&mut buf).map_err(|err| ImportError::Io(err.to_string()))?;
+        if read == 0 {
+            break;
+        }
+        line += 1;
+        if !buf.trim().is_empty() {
+            std::mem::swap(&mut last, &mut buf);
+            last_line = line;
+        }
+    }
+    if last_line == 0 {
+        return Err(ImportError::Stream {
+            line: 0,
+            message: "empty stream: no totals footer".into(),
+        });
+    }
+    match parse_stream_line(last.trim_end_matches(['\n', '\r'])) {
+        Ok(StreamLine::Footer(totals)) => Ok(totals),
+        Ok(StreamLine::Cell(_)) => Err(ImportError::Stream {
+            line: last_line,
+            message: "stream ends in a cell line, not a totals footer (truncated export?)".into(),
+        }),
+        Err(err) => Err(ImportError::Stream { line: last_line, message: err.to_string() }),
+    }
+}
+
+/// Collects a whole streamed shard export into an in-memory [`CampaignReport`] —
+/// the convenience path for tools (e.g. `campaign_ctl diff`) that want to treat a
+/// `.jsonl` export like a `.json` one and do not care about memory.
+///
+/// # Errors
+///
+/// Any error [`StreamingCells`] yields.
+pub fn from_jsonl<R: BufRead>(reader: R) -> Result<CampaignReport, ImportError> {
+    let cells = StreamingCells::new(reader).collect::<Result<Vec<_>, _>>()?;
+    Ok(CampaignReport::new(cells))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::campaign::CampaignBuilder;
     use crate::executor::Executor;
-    use crate::export::to_json;
+    use crate::export::{to_json, StreamingExporter};
 
     #[test]
     fn import_inverts_export_on_a_real_campaign() {
@@ -521,6 +795,123 @@ mod tests {
         for bad in [r#""\ud800x""#, r#""\ud800 ""#, r#""\uZZZZ""#, r#""\q""#] {
             assert!(Parser::new(bad).parse_string().is_err(), "{bad} should not parse");
         }
+    }
+
+    /// A real campaign report and its streamed (JSON lines) export.
+    fn streamed_report() -> (CampaignReport, String) {
+        let campaign = CampaignBuilder::new().sizes([2, 3]).corruptions([(0, 0), (1, 1)]).build();
+        let (report, _) = Executor::new().threads(2).run(&campaign);
+        let mut buf = Vec::new();
+        let mut exporter = StreamingExporter::new(&mut buf);
+        for cell in report.cells() {
+            exporter.write_cell(cell).unwrap();
+        }
+        exporter.finish().unwrap();
+        (report, String::from_utf8(buf).unwrap())
+    }
+
+    #[test]
+    fn streaming_cells_invert_the_streaming_exporter() {
+        let (report, text) = streamed_report();
+        let mut stream = StreamingCells::new(text.as_bytes());
+        let cells: Vec<CellRecord> = (&mut stream).collect::<Result<_, _>>().unwrap();
+        assert_eq!(cells, report.cells());
+        assert!(stream.finished(), "footer must have been verified");
+        assert_eq!(stream.totals(), report.totals());
+        // The convenience collector agrees.
+        assert_eq!(from_jsonl(text.as_bytes()).unwrap(), report);
+    }
+
+    #[test]
+    fn truncated_stream_mid_cell_fails_with_the_line_number() {
+        let (_, text) = streamed_report();
+        // Cut the stream in the middle of the third cell line.
+        let offset = text.match_indices('\n').nth(1).unwrap().0 + 10;
+        let truncated = &text[..offset];
+        let err =
+            StreamingCells::new(truncated.as_bytes()).collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert!(matches!(err, ImportError::Stream { line: 3, .. }), "{err}");
+        assert!(err.to_string().contains("line 3"), "{err}");
+    }
+
+    #[test]
+    fn stream_without_a_footer_is_rejected_as_truncated() {
+        let (_, text) = streamed_report();
+        let footer_start = text.rfind("{\"totals\"").unwrap();
+        let err = StreamingCells::new(&text.as_bytes()[..footer_start])
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap_err();
+        assert!(err.to_string().contains("without a totals footer"), "{err}");
+    }
+
+    #[test]
+    fn footer_mismatching_the_streamed_cells_is_rejected() {
+        let (_, text) = streamed_report();
+        // Drop the second cell line: the footer no longer matches the cells.
+        let lines: Vec<&str> = text.lines().collect();
+        let tampered: String = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, l)| format!("{l}\n"))
+            .collect();
+        let err =
+            StreamingCells::new(tampered.as_bytes()).collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert!(err.to_string().contains("totals footer does not match"), "{err}");
+    }
+
+    #[test]
+    fn content_after_the_footer_is_rejected() {
+        let (_, text) = streamed_report();
+        let first_cell = text.lines().next().unwrap();
+        let trailing = format!("{text}{first_cell}\n");
+        let err =
+            StreamingCells::new(trailing.as_bytes()).collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert!(err.to_string().contains("content after the totals footer"), "{err}");
+    }
+
+    #[test]
+    fn out_of_order_and_malformed_stream_lines_are_rejected() {
+        let (_, text) = streamed_report();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.swap(0, 1);
+        let swapped: String = lines.iter().map(|l| format!("{l}\n")).collect();
+        let err =
+            StreamingCells::new(swapped.as_bytes()).collect::<Result<Vec<_>, _>>().unwrap_err();
+        assert!(err.to_string().contains("out of canonical coordinate order"), "{err}");
+
+        for bad in ["not json\n", "{\"k\": }\n", "\n", "[1]\n"] {
+            let err =
+                StreamingCells::new(bad.as_bytes()).collect::<Result<Vec<_>, _>>().unwrap_err();
+            assert!(matches!(err, ImportError::Stream { .. }), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn footer_totals_reads_only_the_footer() {
+        let (report, text) = streamed_report();
+        assert_eq!(footer_totals(text.as_bytes()).unwrap(), report.totals());
+        // An empty stream and a footerless stream both fail.
+        assert!(footer_totals(&b""[..]).unwrap_err().to_string().contains("empty stream"));
+        let footer_start = text.rfind("{\"totals\"").unwrap();
+        let err = footer_totals(&text.as_bytes()[..footer_start]).unwrap_err();
+        assert!(err.to_string().contains("not a totals footer"), "{err}");
+    }
+
+    #[test]
+    fn empty_shard_stream_is_just_a_zero_footer() {
+        let exporter = StreamingExporter::new(Vec::new());
+        let totals = exporter.totals();
+        let mut buf = Vec::new();
+        let exporter = StreamingExporter::new(&mut buf);
+        exporter.finish().unwrap();
+        assert_eq!(totals, Totals::default());
+        let mut stream = StreamingCells::new(&buf[..]);
+        assert!(stream.next().is_none());
+        assert!(stream.finished());
+        assert_eq!(stream.totals(), Totals::default());
+        assert_eq!(footer_totals(&buf[..]).unwrap(), Totals::default());
+        assert!(from_jsonl(&buf[..]).unwrap().cells().is_empty());
     }
 
     /// Property-style round-trip: every outcome shape with adversarial strings (JSON

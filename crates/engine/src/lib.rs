@@ -15,9 +15,12 @@
 //!   slots, messages, signatures) plus aggregate [`Totals`]; wall-clock throughput
 //!   lives in the separate [`ExecutionStats`],
 //! * [`export`] — hand-rolled JSON and CSV writers (no serde) whose output is a pure
-//!   function of the report,
-//! * [`import`] — the inverse hand-rolled JSON reader: parse an exported document
-//!   back into a [`CampaignReport`] (round-trip exact),
+//!   function of the report, plus the streaming writers ([`StreamingExporter`],
+//!   [`MergedJsonWriter`], [`StreamingCsvWriter`]) for campaigns that never
+//!   materialize,
+//! * [`import`] — the inverse hand-rolled JSON readers: parse an exported document
+//!   back into a [`CampaignReport`] (round-trip exact), or iterate a streamed shard
+//!   export lazily with [`StreamingCells`],
 //! * [`diff`] — [`CampaignDiff`]: cell-level comparison of two reports, rendering
 //!   only the differing cells,
 //! * [`progress`] — an optional scenarios/sec + ETA reporter on stderr.
@@ -44,6 +47,53 @@
 //! assert_eq!(bsm_engine::to_json(&merged), bsm_engine::to_json(&whole));
 //! ```
 //!
+//! # Streaming campaigns
+//!
+//! Campaigns too large to hold every [`CellRecord`] in memory use the streaming path:
+//! [`Executor::run_shard_streaming`] folds completed cells into a rolling [`Totals`]
+//! and hands each one — in canonical order — to a [`StreamingExporter`], which writes
+//! one coordinate-sorted JSON line per cell plus a totals footer. The coordinator
+//! reads shard streams back lazily with [`StreamingCells`], merges them with the
+//! k-way [`CellMerge`] (a binary heap holding one pending cell per shard), and
+//! re-renders the canonical document with [`MergedJsonWriter`] /
+//! [`StreamingCsvWriter`] — byte-identical to the in-memory [`CampaignReport::merge`]
+//! path, as `crates/engine/tests/streaming_merge.rs` proves:
+//!
+//! ```rust
+//! use bsm_engine::{
+//!     footer_totals, CampaignBuilder, CellMerge, Executor, MergedJsonWriter, ShardPlan,
+//!     StreamingCells, StreamingExporter, Totals,
+//! };
+//!
+//! let campaign = CampaignBuilder::new().sizes([3]).seeds(0..2).build();
+//! let executor = Executor::new().threads(2);
+//! // Shard side: stream cells to disk as they complete (Vec<u8> stands in for a file).
+//! let mut shards: Vec<Vec<u8>> = Vec::new();
+//! for index in 0..2 {
+//!     let mut buf = Vec::new();
+//!     let mut exporter = StreamingExporter::new(&mut buf);
+//!     let plan = ShardPlan::new(index, 2).unwrap();
+//!     executor.run_shard_streaming(&campaign, plan, |cell| exporter.write_cell(&cell)).unwrap();
+//!     exporter.finish().unwrap();
+//!     shards.push(buf);
+//! }
+//! // Coordinator side: sum the footers, then k-way-merge the cell streams.
+//! let mut totals = Totals::default();
+//! for shard in &shards {
+//!     totals += footer_totals(&shard[..]).unwrap();
+//! }
+//! let mut out = Vec::new();
+//! let mut writer = MergedJsonWriter::new(&mut out, totals).unwrap();
+//! let streams: Vec<_> = shards.iter().map(|s| StreamingCells::new(&s[..])).collect();
+//! for cell in CellMerge::new(streams) {
+//!     writer.write_cell(&cell.unwrap()).unwrap();
+//! }
+//! writer.finish().unwrap();
+//! // Byte-identical to the unsharded in-memory export.
+//! let (whole, _) = executor.run(&campaign);
+//! assert_eq!(String::from_utf8(out).unwrap(), bsm_engine::to_json(&whole));
+//! ```
+//!
 //! # Quickstart
 //!
 //! ```rust
@@ -63,7 +113,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod diff;
@@ -77,12 +127,16 @@ pub mod report;
 pub use campaign::{Campaign, CampaignBuilder};
 pub use diff::{CampaignDiff, CellDiff};
 pub use executor::{Executor, THREADS_ENV};
-pub use export::{to_csv, to_json};
+pub use export::{
+    cell_json, csv_row, to_csv, to_json, totals_json, MergedJsonWriter, StreamError,
+    StreamingCsvWriter, StreamingExporter,
+};
 pub use grid::{ScenarioSpec, ShardPlan, ShardPlanError};
-pub use import::{from_json, ImportError};
+pub use import::{footer_totals, from_json, from_jsonl, ImportError, StreamingCells};
 pub use progress::Progress;
 pub use report::{
-    CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats, MergeError, Totals,
+    CampaignReport, CellMerge, CellMergeError, CellOutcome, CellRecord, CellStats, ExecutionStats,
+    MergeError, Totals,
 };
 
 // Campaign-friendliness audit: everything the executor moves across worker threads

@@ -8,7 +8,10 @@
 
 use crate::grid::ScenarioSpec;
 use bsm_core::solvability::ProtocolPlan;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use std::fmt;
+use std::ops::AddAssign;
 use std::time::Duration;
 
 /// What happened when one cell was run.
@@ -99,6 +102,48 @@ pub struct Totals {
     pub signatures: u64,
 }
 
+impl Totals {
+    /// Folds one cell outcome into the running totals (incrementing `scenarios`).
+    ///
+    /// This is the streaming counterpart of [`CampaignReport::new`]'s aggregation: the
+    /// streamed export path folds every completed cell into a rolling `Totals` instead
+    /// of retaining the full [`CellRecord`] vector, and both paths produce the same
+    /// totals for the same cells.
+    pub fn record(&mut self, outcome: &CellOutcome) {
+        self.scenarios += 1;
+        match outcome {
+            CellOutcome::Completed(stats) => {
+                self.completed += 1;
+                if stats.violations == 0 && stats.all_honest_decided {
+                    self.solved_clean += 1;
+                }
+                self.violations += stats.violations;
+                self.slots += stats.slots;
+                self.messages += stats.messages;
+                self.signatures += stats.signatures;
+            }
+            CellOutcome::Unsolvable { .. } => self.unsolvable += 1,
+            CellOutcome::Failed { .. } => self.failed += 1,
+        }
+    }
+}
+
+/// Field-wise addition, used to pre-compute merged totals from per-shard footers
+/// before any merged cell has been streamed.
+impl AddAssign for Totals {
+    fn add_assign(&mut self, other: Totals) {
+        self.scenarios += other.scenarios;
+        self.completed += other.completed;
+        self.solved_clean += other.solved_clean;
+        self.unsolvable += other.unsolvable;
+        self.failed += other.failed;
+        self.violations += other.violations;
+        self.slots += other.slots;
+        self.messages += other.messages;
+        self.signatures += other.signatures;
+    }
+}
+
 impl fmt::Display for Totals {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -132,22 +177,9 @@ pub struct CampaignReport {
 impl CampaignReport {
     /// Builds a report from per-cell records already in canonical order.
     pub fn new(cells: Vec<CellRecord>) -> Self {
-        let mut totals = Totals { scenarios: cells.len(), ..Totals::default() };
+        let mut totals = Totals::default();
         for cell in &cells {
-            match &cell.outcome {
-                CellOutcome::Completed(stats) => {
-                    totals.completed += 1;
-                    if stats.violations == 0 && stats.all_honest_decided {
-                        totals.solved_clean += 1;
-                    }
-                    totals.violations += stats.violations;
-                    totals.slots += stats.slots;
-                    totals.messages += stats.messages;
-                    totals.signatures += stats.signatures;
-                }
-                CellOutcome::Unsolvable { .. } => totals.unsolvable += 1,
-                CellOutcome::Failed { .. } => totals.failed += 1,
-            }
+            totals.record(&cell.outcome);
         }
         Self { cells, totals }
     }
@@ -165,6 +197,22 @@ impl CampaignReport {
     ///
     /// [`CampaignBuilder::build`]: crate::campaign::CampaignBuilder::build
     /// [`Campaign::from_specs`]: crate::campaign::Campaign::from_specs
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// use bsm_engine::{CampaignBuilder, CampaignReport, Executor, ShardPlan};
+    ///
+    /// let campaign = CampaignBuilder::new().sizes([3]).seeds(0..2).build();
+    /// let executor = Executor::new().threads(2);
+    /// let (whole, _) = executor.run(&campaign);
+    /// // Run the campaign as two shards (as two processes would) and recombine.
+    /// let halves: Vec<_> = (0..2)
+    ///     .map(|i| executor.run_shard(&campaign, ShardPlan::new(i, 2).unwrap()).0)
+    ///     .collect();
+    /// let merged = CampaignReport::merge(halves).unwrap();
+    /// assert_eq!(merged, whole);
+    /// ```
     ///
     /// # Errors
     ///
@@ -209,6 +257,173 @@ impl fmt::Display for MergeError {
 }
 
 impl std::error::Error for MergeError {}
+
+/// A streaming k-way merge of coordinate-sorted [`CellRecord`] streams.
+///
+/// This is [`CampaignReport::merge`] without the memory: instead of materializing
+/// every shard report, the coordinator holds **one pending cell per shard** in a
+/// binary heap and yields the union in canonical coordinate order. Feeding the merged
+/// stream through the streaming writers in [`crate::export`] reproduces the unsharded
+/// in-memory export byte for byte, which is the contract
+/// `crates/engine/tests/streaming_merge.rs` proves.
+///
+/// Each input stream must yield cells in strictly increasing coordinate order (the
+/// order [`crate::import::StreamingCells`] verifies and
+/// [`crate::export::StreamingExporter`] enforces on write). The merge is fail-fast:
+/// the first shard read error, duplicate coordinate or ordering violation is yielded
+/// as an error and the iterator then fuses to `None`.
+#[derive(Debug)]
+pub struct CellMerge<I, E>
+where
+    I: Iterator<Item = Result<CellRecord, E>>,
+{
+    shards: Vec<I>,
+    heap: BinaryHeap<Reverse<MergeEntry>>,
+    last: Option<ScenarioSpec>,
+    started: bool,
+    done: bool,
+}
+
+/// One shard's pending cell. Ordered by (coordinates, shard index) so the heap pops
+/// the globally smallest cell and ties (duplicates across shards) pop adjacently,
+/// where the duplicate check catches them.
+#[derive(Debug)]
+struct MergeEntry {
+    record: CellRecord,
+    shard: usize,
+}
+
+impl Ord for MergeEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.record.spec, self.shard).cmp(&(other.record.spec, other.shard))
+    }
+}
+
+impl PartialOrd for MergeEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl PartialEq for MergeEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for MergeEntry {}
+
+impl<I, E> CellMerge<I, E>
+where
+    I: Iterator<Item = Result<CellRecord, E>>,
+{
+    /// Prepares a merge over `shards` (in any order; the heap restores coordinate
+    /// order). Streams are only pulled from once iteration starts.
+    pub fn new(shards: Vec<I>) -> Self {
+        let heap = BinaryHeap::with_capacity(shards.len());
+        Self { shards, heap, last: None, started: false, done: false }
+    }
+
+    /// Pulls the next cell of shard `shard` into the heap; surfaces read errors.
+    fn refill(&mut self, shard: usize) -> Result<(), CellMergeError<E>> {
+        match self.shards[shard].next() {
+            None => Ok(()),
+            Some(Ok(record)) => {
+                self.heap.push(Reverse(MergeEntry { record, shard }));
+                Ok(())
+            }
+            Some(Err(error)) => Err(CellMergeError::Shard { shard, error }),
+        }
+    }
+}
+
+impl<I, E> Iterator for CellMerge<I, E>
+where
+    I: Iterator<Item = Result<CellRecord, E>>,
+{
+    type Item = Result<CellRecord, CellMergeError<E>>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            for shard in 0..self.shards.len() {
+                if let Err(err) = self.refill(shard) {
+                    self.done = true;
+                    return Some(Err(err));
+                }
+            }
+        }
+        let Some(Reverse(entry)) = self.heap.pop() else {
+            self.done = true;
+            return None;
+        };
+        if let Err(err) = self.refill(entry.shard) {
+            self.done = true;
+            return Some(Err(err));
+        }
+        if let Some(previous) = self.last {
+            match entry.record.spec.cmp(&previous) {
+                std::cmp::Ordering::Equal => {
+                    self.done = true;
+                    return Some(Err(CellMergeError::DuplicateCell(entry.record.spec)));
+                }
+                std::cmp::Ordering::Less => {
+                    self.done = true;
+                    return Some(Err(CellMergeError::OutOfOrder {
+                        shard: entry.shard,
+                        spec: entry.record.spec,
+                    }));
+                }
+                std::cmp::Ordering::Greater => {}
+            }
+        }
+        self.last = Some(entry.record.spec);
+        Some(Ok(entry.record))
+    }
+}
+
+/// Errors of a streaming [`CellMerge`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellMergeError<E> {
+    /// Reading shard `shard`'s cell stream failed.
+    Shard {
+        /// 0-based index of the failing stream (the order given to [`CellMerge::new`]).
+        shard: usize,
+        /// The underlying stream error.
+        error: E,
+    },
+    /// Two streams carried a cell with the same grid coordinates — overlapping shard
+    /// ranges, or the same shard merged twice.
+    DuplicateCell(ScenarioSpec),
+    /// A stream yielded cells out of canonical coordinate order.
+    OutOfOrder {
+        /// 0-based index of the unsorted stream.
+        shard: usize,
+        /// The coordinates that arrived after a larger coordinate.
+        spec: ScenarioSpec,
+    },
+}
+
+impl<E: fmt::Display> fmt::Display for CellMergeError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CellMergeError::Shard { shard, error } => {
+                write!(f, "shard stream {shard} failed: {error}")
+            }
+            CellMergeError::DuplicateCell(spec) => {
+                write!(f, "duplicate cell across shard streams: {spec}")
+            }
+            CellMergeError::OutOfOrder { shard, spec } => {
+                write!(f, "shard stream {shard} is out of canonical coordinate order at {spec}")
+            }
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for CellMergeError<E> {}
 
 /// Wall-clock statistics of one executor run. Kept separate from [`CampaignReport`] so
 /// exports stay deterministic.
@@ -350,6 +565,107 @@ mod tests {
         let merged = CampaignReport::merge(Vec::new()).unwrap();
         assert!(merged.cells().is_empty());
         assert_eq!(merged.totals(), Totals::default());
+    }
+
+    #[test]
+    fn totals_record_matches_report_aggregation() {
+        let cells = vec![
+            completed(0),
+            completed(3),
+            CellRecord {
+                spec: spec(),
+                outcome: CellOutcome::Unsolvable {
+                    theorem: "Theorem 4".into(),
+                    reason: "z".into(),
+                },
+            },
+        ];
+        let mut rolling = Totals::default();
+        for cell in &cells {
+            rolling.record(&cell.outcome);
+        }
+        assert_eq!(rolling, CampaignReport::new(cells).totals());
+    }
+
+    #[test]
+    fn totals_addition_is_field_wise() {
+        let mut left = Totals::default();
+        left.record(&completed(2).outcome);
+        let mut right = Totals::default();
+        right.record(&CellOutcome::Failed { message: "x".into() });
+        right.record(&completed(0).outcome);
+        let mut sum = left;
+        sum += right;
+        assert_eq!(sum.scenarios, 3);
+        assert_eq!(sum.completed, 2);
+        assert_eq!(sum.solved_clean, 1);
+        assert_eq!(sum.failed, 1);
+        assert_eq!(sum.violations, 2);
+        assert_eq!(sum.slots, 20);
+    }
+
+    /// Cells with distinct seeds, used to build sorted shard streams for merge tests.
+    fn seeded(seed: u64) -> CellRecord {
+        let mut cell = completed(0);
+        cell.spec.seed = seed;
+        cell
+    }
+
+    type OkStream = std::vec::IntoIter<Result<CellRecord, MergeError>>;
+
+    fn stream(seeds: &[u64]) -> OkStream {
+        seeds.iter().map(|&s| Ok(seeded(s))).collect::<Vec<_>>().into_iter()
+    }
+
+    #[test]
+    fn cell_merge_interleaves_sorted_streams_in_coordinate_order() {
+        let merged: Result<Vec<CellRecord>, _> =
+            CellMerge::new(vec![stream(&[1, 4, 6]), stream(&[0, 5]), stream(&[2, 3])]).collect();
+        let seeds: Vec<u64> = merged.unwrap().iter().map(|c| c.spec.seed).collect();
+        assert_eq!(seeds, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn cell_merge_of_no_streams_or_empty_streams_is_empty() {
+        let empty: Vec<OkStream> = Vec::new();
+        assert_eq!(CellMerge::new(empty).count(), 0);
+        let merged: Result<Vec<CellRecord>, _> =
+            CellMerge::new(vec![stream(&[]), stream(&[7]), stream(&[])]).collect();
+        assert_eq!(merged.unwrap().len(), 1);
+    }
+
+    #[test]
+    fn cell_merge_rejects_duplicates_and_unsorted_streams_then_fuses() {
+        let mut merge = CellMerge::new(vec![stream(&[0, 1]), stream(&[1])]);
+        assert_eq!(merge.next().unwrap().unwrap().spec.seed, 0);
+        assert_eq!(merge.next().unwrap().unwrap().spec.seed, 1);
+        let err = merge.next().unwrap().unwrap_err();
+        assert!(matches!(err, CellMergeError::DuplicateCell(_)), "{err}");
+        assert!(err.to_string().contains("duplicate cell"), "{err}");
+        assert!(merge.next().is_none(), "merge must fuse after an error");
+
+        let mut merge = CellMerge::new(vec![stream(&[5, 2])]);
+        assert_eq!(merge.next().unwrap().unwrap().spec.seed, 5);
+        let err = merge.next().unwrap().unwrap_err();
+        assert!(matches!(err, CellMergeError::OutOfOrder { shard: 0, .. }), "{err}");
+        assert!(err.to_string().contains("out of canonical coordinate order"), "{err}");
+        assert!(merge.next().is_none());
+    }
+
+    #[test]
+    fn cell_merge_surfaces_shard_stream_errors_with_the_shard_index() {
+        let failing: Vec<Result<CellRecord, MergeError>> =
+            vec![Ok(seeded(0)), Err(MergeError::DuplicateCell(spec()))];
+        let mut merge = CellMerge::new(vec![stream(&[1]), failing.into_iter()]);
+        // Shard 1's error surfaces on the refill after its first cell is popped.
+        let first = merge.next().unwrap();
+        let err = match first {
+            Err(err) => err,
+            Ok(_) => merge.next().unwrap().unwrap_err(),
+        };
+        assert!(matches!(err, CellMergeError::Shard { shard: 1, .. }), "{err}");
+        assert!(err.to_string().contains("shard stream 1 failed"), "{err}");
+        assert!(merge.next().is_none());
     }
 
     #[test]
