@@ -23,10 +23,12 @@
 //! # Streaming (`--stream`)
 //!
 //! For campaigns too large to hold every cell in memory, `run --stream` writes a
-//! `report.jsonl` instead — coordinate-sorted cell lines plus a totals footer,
-//! streamed to disk as cells complete — and `merge --stream` k-way-merges shard
-//! `report.jsonl` files in constant memory into `report.json` + `report.csv`
-//! **byte-identical** to the in-memory `merge` of unstreamed shard exports:
+//! `report.jsonl` — coordinate-sorted cell lines plus a totals footer, streamed to
+//! disk as cells complete — plus a per-shard `report.csv` (streamed through
+//! `StreamingCsvWriter`, byte-identical to the in-memory export of the same shard),
+//! and `merge --stream` k-way-merges shard `report.jsonl` files in constant memory
+//! into `report.json` + `report.csv` **byte-identical** to the in-memory `merge` of
+//! unstreamed shard exports:
 //!
 //! ```sh
 //! campaign_ctl run --smoke --stream --shard 1/3 --out shards/1   # ... 2/3, 3/3
@@ -117,38 +119,92 @@ fn run(args: &BenchArgs) -> Result<(), String> {
 }
 
 /// `run --stream`: cells are folded into rolling totals and streamed to
-/// `report.jsonl` as they complete; the full record vector is never held in memory.
+/// `report.jsonl` **and** `report.csv` as they complete; the full record vector is
+/// never held in memory. The per-shard CSV is byte-identical to the `to_csv` export
+/// of the same shard run in memory (CSV needs no totals header, so it can stream on
+/// the shard side too).
 fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> Result<(), String> {
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
     std::fs::create_dir_all(&out)
         .map_err(|err| format!("cannot create {}: {err}", out.display()))?;
     let path = out.join("report.jsonl");
-    let file =
-        File::create(&path).map_err(|err| format!("cannot write {}: {err}", path.display()))?;
-    let mut exporter = StreamingExporter::new(BufWriter::new(file));
+    let csv_path = out.join("report.csv");
     let result = (|| {
+        let file =
+            File::create(&path).map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+        let csv_file = File::create(&csv_path)
+            .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
+        let mut exporter = StreamingExporter::new(BufWriter::new(file));
+        let mut csv = StreamingCsvWriter::new(BufWriter::new(csv_file))
+            .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
+        let mut sink = |cell: bsm_engine::CellRecord| {
+            exporter.write_cell(&cell)?;
+            csv.write_cell(&cell)
+        };
         let run = match args.shard {
-            Some(plan) => {
-                executor.run_shard_streaming(campaign, plan, |cell| exporter.write_cell(&cell))
-            }
-            None => executor.run_streaming(campaign, |cell| exporter.write_cell(&cell)),
+            Some(plan) => executor.run_shard_streaming(campaign, plan, &mut sink),
+            None => executor.run_streaming(campaign, &mut sink),
         };
         let (totals, stats) =
             run.map_err(|err| format!("streamed export to {} failed: {err}", path.display()))?;
         exporter.finish().map_err(|err| format!("cannot finish {}: {err}", path.display()))?;
+        csv.finish().map_err(|err| format!("cannot finish {}: {err}", csv_path.display()))?;
         Ok((totals, stats))
     })();
     let (totals, stats) = match result {
         Ok(done) => done,
         Err(message) => {
-            // Never leave a footerless (truncated) stream behind a failed run: a
-            // later merge --stream globbing shard dirs would trip over it.
+            // Never leave a footerless (truncated) stream or a partial CSV behind a
+            // failed run: a later merge --stream globbing shard dirs would trip over
+            // it.
             let _ = std::fs::remove_file(&path);
+            let _ = std::fs::remove_file(&csv_path);
             return Err(message);
         }
     };
     eprintln!("{stats}");
     println!("totals: {totals}");
+    println!("exported {} and {}", path.display(), csv_path.display());
+    Ok(())
+}
+
+/// `bench`: run the fixed Dolev-Strong-heavy benchmark campaign and write the
+/// `BENCH_engine.json` performance snapshot (see [`bsm_engine::bench`]).
+///
+/// `--smoke` selects the quick CI grid; the default full grid is the one behind the
+/// tracked repo-root baseline. `--out DIR` chooses where `BENCH_engine.json` lands
+/// (default: the current directory, i.e. the repo root when run from a checkout).
+fn bench(args: &BenchArgs) -> Result<(), String> {
+    // The benchmark campaign is fixed by design (the snapshot is only comparable
+    // across runs of the same grid); silently accepting run-flavored flags would
+    // ship a mislabeled baseline with exit 0.
+    if args.shard.is_some() || args.stream || !args.files.is_empty() {
+        return Err("bench: --shard, --stream and file arguments are not supported \
+             (the benchmark campaign is fixed; use --smoke, --threads, --out)"
+            .into());
+    }
+    let executor = args.executor().progress(Progress::Stderr { every: 250 });
+    eprintln!(
+        "running {} benchmark campaign on {} thread(s)",
+        if args.smoke { "quick" } else { "full" },
+        executor.thread_count()
+    );
+    let snapshot = bsm_engine::bench::run(&executor, args.smoke);
+    let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+    let path = dir.join("BENCH_engine.json");
+    std::fs::create_dir_all(&dir)
+        .and_then(|()| std::fs::write(&path, snapshot.to_json()))
+        .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+    println!(
+        "{} cells in {:.3}s ({:.1} scenarios/sec); {} signatures verified \
+         (+{} cache hits), {} digests computed",
+        snapshot.cells,
+        snapshot.wall_seconds,
+        snapshot.scenarios_per_sec,
+        snapshot.signatures_verified,
+        snapshot.verify_cache_hits,
+        snapshot.digests_computed
+    );
     println!("exported {}", path.display());
     Ok(())
 }
@@ -254,10 +310,11 @@ fn main() -> ExitCode {
     }
     let result = match subcommand.as_str() {
         "run" => run(&args).map(|()| false),
+        "bench" => bench(&args).map(|()| false),
         "merge" => merge(&args).map(|()| false),
         "diff" => diff(&args),
         other => Err(format!(
-            "unknown subcommand {other:?}; usage: campaign_ctl <run|merge|diff> \
+            "unknown subcommand {other:?}; usage: campaign_ctl <run|bench|merge|diff> \
              [--smoke] [--stream] [--shard I/K] [--threads N] [--out DIR] \
              [report.json|report.jsonl ...]"
         )),

@@ -1,18 +1,30 @@
 use crate::value::Value;
-use bsm_crypto::{Digest, DigestWriter, Digestible, KeyId, Pki, Signature, SigningKey};
+use bsm_crypto::{
+    Digest, DigestWriter, Digestible, KeyId, Pki, SigChain, Signature, SigningKey, Verifier,
+};
 use bsm_net::{Outgoing, PartyId, RoundProtocol};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Upper bound on memoized instance digests per protocol instance.
+///
+/// Honest executions see at most two distinct values (one extracted value plus the
+/// byzantine sender's second value); the cap only matters against an adversary
+/// flooding the instance with distinct values, where memoization has no value anyway
+/// (each appears once) but unbounded growth would.
+const DIGEST_MEMO_CAP: usize = 32;
 
 /// A Dolev–Strong message: a candidate value together with its signature chain.
 ///
 /// A chain of length `r` must start with the designated sender's signature and contain
-/// `r` distinct valid signatures over the instance digest of `value`.
+/// `r` distinct valid signatures over the instance digest of `value`. The chain is a
+/// shared [`SigChain`], so relaying one message to `n − 1` recipients costs `n − 1`
+/// reference-count bumps, not `n − 1` deep copies.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DolevStrongMsg<V> {
     /// The broadcast value being relayed.
     pub value: V,
-    /// The accumulated signature chain.
-    pub chain: Vec<Signature>,
+    /// The accumulated signature chain (shared, copy-on-extend).
+    pub chain: SigChain,
 }
 
 impl<V: Digestible> Digestible for DolevStrongMsg<V> {
@@ -46,10 +58,6 @@ impl DolevStrongConfig {
     fn key_of(&self, party: PartyId) -> Option<KeyId> {
         self.key_of.get(&party).copied()
     }
-
-    fn party_of(&self, key: KeyId) -> Option<PartyId> {
-        self.key_of.iter().find(|(_, &k)| k == key).map(|(&p, _)| p)
-    }
 }
 
 /// The Dolev–Strong authenticated byzantine broadcast protocol, resilient against any
@@ -59,6 +67,12 @@ impl DolevStrongConfig {
 /// The protocol runs `t + 1` relay rounds after the sender's initial round; at the end,
 /// a party outputs the unique value it extracted, or the default value if the (then
 /// necessarily byzantine) sender caused zero or several values to be extracted.
+///
+/// The hot path is allocation- and hash-light: the instance digest of each candidate
+/// value is computed once and memoized, signature verifications go through a
+/// per-instance [`Verifier`] memo, the `KeyId → PartyId` direction of the key map is
+/// precomputed, and relayed chains are shared [`SigChain`]s. None of this changes any
+/// observable outcome — every cached answer is identical to its uncached counterpart.
 #[derive(Debug)]
 pub struct DolevStrong<V> {
     config: DolevStrongConfig,
@@ -67,6 +81,14 @@ pub struct DolevStrong<V> {
     default: V,
     extracted: BTreeSet<V>,
     output: Option<V>,
+    /// Inverse of `config.key_of`, built once (the config only stores the forward map).
+    party_of: BTreeMap<KeyId, PartyId>,
+    /// Memoizing verification handle for `config.pki`.
+    verifier: Verifier,
+    /// Instance digests per candidate value (at most [`DIGEST_MEMO_CAP`] entries).
+    digest_memo: Vec<(V, Digest)>,
+    /// Scratch buffer for the distinct-signers check (reused across messages).
+    seen_signers: Vec<KeyId>,
 }
 
 impl<V: Value + Digestible> DolevStrong<V> {
@@ -99,7 +121,20 @@ impl<V: Value + Digestible> DolevStrong<V> {
         if config.me == config.sender {
             assert!(input.is_some(), "the sender must hold an input value");
         }
-        Self { config, signing_key, input, default, extracted: BTreeSet::new(), output: None }
+        let party_of = config.key_of.iter().map(|(&party, &key)| (key, party)).collect();
+        let verifier = config.pki.verifier();
+        Self {
+            config,
+            signing_key,
+            input,
+            default,
+            extracted: BTreeSet::new(),
+            output: None,
+            party_of,
+            verifier,
+            digest_memo: Vec::new(),
+            seen_signers: Vec::new(),
+        }
     }
 
     /// Number of round invocations until the output is available: `t + 2`.
@@ -118,7 +153,20 @@ impl<V: Value + Digestible> DolevStrong<V> {
         writer.finish()
     }
 
-    fn chain_is_valid(&self, msg: &DolevStrongMsg<V>, round: u64) -> bool {
+    /// The instance digest of `value`, computed once per distinct candidate value and
+    /// memoized. Identical to [`DolevStrong::instance_digest`] for every query.
+    fn digest_of(&mut self, value: &V) -> Digest {
+        if let Some((_, digest)) = self.digest_memo.iter().find(|(v, _)| v == value) {
+            return *digest;
+        }
+        let digest = Self::instance_digest(&self.config, value);
+        if self.digest_memo.len() < DIGEST_MEMO_CAP {
+            self.digest_memo.push((value.clone(), digest));
+        }
+        digest
+    }
+
+    fn chain_is_valid(&mut self, msg: &DolevStrongMsg<V>, round: u64) -> bool {
         let chain = &msg.chain;
         if (chain.len() as u64) < round || chain.is_empty() {
             return false;
@@ -127,37 +175,37 @@ impl<V: Value + Digestible> DolevStrong<V> {
             Some(key) => key,
             None => return false,
         };
-        if chain[0].signer() != sender_key {
+        if chain.first().map(Signature::signer) != Some(sender_key) {
             return false;
         }
-        let mut seen = BTreeSet::new();
-        let digest = Self::instance_digest(&self.config, &msg.value);
-        for signature in chain {
-            if !seen.insert(signature.signer()) {
+        let digest = self.digest_of(&msg.value);
+        self.seen_signers.clear();
+        for signature in &msg.chain {
+            if self.seen_signers.contains(&signature.signer()) {
                 return false;
             }
-            let signer_party = match self.config.party_of(signature.signer()) {
-                Some(p) => p,
+            self.seen_signers.push(signature.signer());
+            let signer_party = match self.party_of.get(&signature.signer()) {
+                Some(&p) => p,
                 None => return false,
             };
             if !self.config.participants.contains(&signer_party) {
                 return false;
             }
-            if !self.config.pki.verify(signature, digest) {
+            if !self.verifier.verify(signature, digest) {
                 return false;
             }
         }
         true
     }
 
-    fn relay(&self, msg: &DolevStrongMsg<V>) -> Vec<Outgoing<DolevStrongMsg<V>>> {
+    fn relay(&mut self, msg: &DolevStrongMsg<V>) -> Vec<Outgoing<DolevStrongMsg<V>>> {
         let my_key = self.signing_key.id();
-        if msg.chain.iter().any(|s| s.signer() == my_key) {
+        if msg.chain.contains_signer(my_key) {
             return Vec::new();
         }
-        let digest = Self::instance_digest(&self.config, &msg.value);
-        let mut chain = msg.chain.clone();
-        chain.push(self.signing_key.sign(digest));
+        let digest = self.digest_of(&msg.value);
+        let chain = msg.chain.extended(self.signing_key.sign(digest));
         let extended = DolevStrongMsg { value: msg.value.clone(), chain };
         self.config
             .participants
@@ -187,8 +235,8 @@ impl<V: Value + Digestible> RoundProtocol for DolevStrong<V> {
         if round == 0 {
             if self.config.me == self.config.sender {
                 let value = self.input.clone().expect("sender holds an input");
-                let digest = Self::instance_digest(&self.config, &value);
-                let chain = vec![self.signing_key.sign(digest)];
+                let digest = self.digest_of(&value);
+                let chain = SigChain::single(self.signing_key.sign(digest));
                 self.extracted.insert(value.clone());
                 let msg = DolevStrongMsg { value, chain };
                 for &p in &self.config.participants {
@@ -340,7 +388,7 @@ mod tests {
         let byz_key = pki.signing_key(key_of[&PartyId::left(2)].0).unwrap();
         let bogus_value = 13u64;
         let digest = DolevStrong::<u64>::instance_digest(&config, &bogus_value);
-        let bogus = DolevStrongMsg { value: bogus_value, chain: vec![byz_key.sign(digest)] };
+        let bogus = DolevStrongMsg { value: bogus_value, chain: vec![byz_key.sign(digest)].into() };
         receiver.round(0, &[]);
         receiver.round(1, &[(PartyId::left(2), bogus)]);
         let total = DolevStrong::<u64>::total_rounds(1);
@@ -362,7 +410,7 @@ mod tests {
         let sig = sender_key.sign(digest);
         // Round 2 requires two distinct signatures; a duplicated sender signature is not
         // enough.
-        let msg = DolevStrongMsg { value, chain: vec![sig, sig] };
+        let msg = DolevStrongMsg { value, chain: vec![sig, sig].into() };
         receiver.round(0, &[]);
         receiver.round(1, &[]);
         receiver.round(2, &[(PartyId::left(2), msg)]);
@@ -382,7 +430,7 @@ mod tests {
         let sender_key = pki.signing_key(key_of[&sender].0).unwrap();
         let value = 5u64;
         let digest = DolevStrong::<u64>::instance_digest(&config, &value);
-        let msg = DolevStrongMsg { value, chain: vec![sender_key.sign(digest)] };
+        let msg = DolevStrongMsg { value, chain: vec![sender_key.sign(digest)].into() };
         // A single-signature chain delivered at round 2 (it should have been extended by
         // a relay) is too short and must be ignored.
         receiver.round(0, &[]);

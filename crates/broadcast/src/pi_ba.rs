@@ -46,6 +46,9 @@ pub struct OmissionTolerantBa<V> {
     y: Option<V>,
     finals: BTreeMap<PartyId, V>,
     output: Option<Option<V>>,
+    /// Reusable demux buffer for the inner phase-king inbox (cleared every round; the
+    /// allocation is paid once per instance instead of once per round).
+    king_scratch: Vec<(PartyId, KingMsg<V>)>,
 }
 
 impl<V: Value> OmissionTolerantBa<V> {
@@ -56,7 +59,15 @@ impl<V: Value> OmissionTolerantBa<V> {
     /// Panics if `me` is not a committee member.
     pub fn new(committee: Committee, me: PartyId, input: V) -> Self {
         let king = PhaseKing::new(committee.clone(), me, input);
-        Self { committee, me, king, y: None, finals: BTreeMap::new(), output: None }
+        Self {
+            committee,
+            me,
+            king,
+            y: None,
+            finals: BTreeMap::new(),
+            output: None,
+            king_scratch: Vec::new(),
+        }
     }
 
     /// Number of round invocations until the output is available:
@@ -93,16 +104,16 @@ impl<V: Value> RoundProtocol for OmissionTolerantBa<V> {
         let king_rounds = PhaseKing::<V>::total_rounds(&self.committee);
         let mut out = Vec::new();
         if round < king_rounds {
-            let king_inbox: Vec<(PartyId, KingMsg<V>)> = inbox
-                .iter()
-                .filter_map(|(from, msg)| match msg {
-                    BaMsg::King(km) => Some((*from, km.clone())),
-                    _ => None,
-                })
-                .collect();
+            let mut king_inbox = std::mem::take(&mut self.king_scratch);
+            king_inbox.clear();
+            king_inbox.extend(inbox.iter().filter_map(|(from, msg)| match msg {
+                BaMsg::King(km) => Some((*from, km.clone())),
+                _ => None,
+            }));
             for outgoing in self.king.round(round, &king_inbox) {
                 out.push(Outgoing::new(outgoing.to, BaMsg::King(outgoing.payload)));
             }
+            self.king_scratch = king_inbox;
             if round == king_rounds - 1 {
                 let y = self.king.output().expect("phase king decided at its final round");
                 self.y = Some(y.clone());

@@ -45,6 +45,8 @@ pub struct OmissionTolerantBb<V> {
     received: Option<V>,
     ba: Option<OmissionTolerantBa<V>>,
     output: Option<Option<V>>,
+    /// Reusable demux buffer for the inner `ΠBA` inbox (cleared every round).
+    ba_scratch: Vec<(PartyId, BaMsg<V>)>,
 }
 
 impl<V: Value> OmissionTolerantBb<V> {
@@ -70,7 +72,17 @@ impl<V: Value> OmissionTolerantBb<V> {
         if me == sender {
             assert!(input.is_some(), "the sender must hold an input value");
         }
-        Self { committee, me, sender, default, input, received: None, ba: None, output: None }
+        Self {
+            committee,
+            me,
+            sender,
+            default,
+            input,
+            received: None,
+            ba: None,
+            output: None,
+            ba_scratch: Vec::new(),
+        }
     }
 
     /// Number of round invocations until the output is available.
@@ -120,16 +132,16 @@ impl<V: Value> RoundProtocol for OmissionTolerantBb<V> {
             self.ba = Some(OmissionTolerantBa::new(self.committee.clone(), self.me, input));
         }
         if let Some(ba) = self.ba.as_mut() {
-            let ba_inbox: Vec<(PartyId, BaMsg<V>)> = inbox
-                .iter()
-                .filter_map(|(from, msg)| match msg {
-                    BbMsg::Ba(inner) => Some((*from, inner.clone())),
-                    _ => None,
-                })
-                .collect();
+            let mut ba_inbox = std::mem::take(&mut self.ba_scratch);
+            ba_inbox.clear();
+            ba_inbox.extend(inbox.iter().filter_map(|(from, msg)| match msg {
+                BbMsg::Ba(inner) => Some((*from, inner.clone())),
+                _ => None,
+            }));
             for outgoing in ba.round(ba_round, &ba_inbox) {
                 out.push(Outgoing::new(outgoing.to, BbMsg::Ba(outgoing.payload)));
             }
+            self.ba_scratch = ba_inbox;
             if let Some(decision) = ba.output() {
                 self.output = Some(decision);
             }

@@ -215,7 +215,7 @@ impl Adversary<DolevStrongMsg<u64>> for DsEquivocatingSender {
         for (i, honest) in ctx.honest().into_iter().enumerate() {
             let value = if i % 2 == 0 { self.value_a } else { self.value_b };
             let digest = DolevStrong::<u64>::instance_digest(&self.config, &value);
-            let msg = DolevStrongMsg { value, chain: vec![self.key.sign(digest)] };
+            let msg = DolevStrongMsg { value, chain: vec![self.key.sign(digest)].into() };
             out.push((self.sender, Outgoing::new(honest, msg)));
         }
         out

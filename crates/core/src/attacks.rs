@@ -153,7 +153,7 @@ impl SplitBrainAdversary {
 impl Adversary<WireMsg> for SplitBrainAdversary {
     fn act(
         &mut self,
-        ctx: &AdversaryContext,
+        ctx: &AdversaryContext<'_>,
         _inboxes: &BTreeMap<PartyId, Vec<Envelope<WireMsg>>>,
     ) -> Vec<(PartyId, Outgoing<WireMsg>)> {
         let slot = ctx.now.slot();
@@ -256,7 +256,7 @@ struct RelayDenialAdversary {
 impl Adversary<WireMsg> for RelayDenialAdversary {
     fn act(
         &mut self,
-        _ctx: &AdversaryContext,
+        _ctx: &AdversaryContext<'_>,
         _inboxes: &BTreeMap<PartyId, Vec<Envelope<WireMsg>>>,
     ) -> Vec<(PartyId, Outgoing<WireMsg>)> {
         // Not forwarding any relay request is implicit: the adversary simply never
@@ -448,7 +448,7 @@ impl FullSidePartitionAdversary {
 impl Adversary<WireMsg> for FullSidePartitionAdversary {
     fn act(
         &mut self,
-        ctx: &AdversaryContext,
+        ctx: &AdversaryContext<'_>,
         _inboxes: &BTreeMap<PartyId, Vec<Envelope<WireMsg>>>,
     ) -> Vec<(PartyId, Outgoing<WireMsg>)> {
         let slot = ctx.now.slot();

@@ -15,7 +15,7 @@
 //!   omission model of §5.2.
 
 use crate::wire::{ProtoMsg, WireMsg};
-use bsm_crypto::{Digest, DigestWriter, Digestible, KeyId, Pki, SigningKey};
+use bsm_crypto::{Digest, DigestWriter, Digestible, KeyId, Pki, SigningKey, Verifier};
 use bsm_matching::Side;
 use bsm_net::{Outgoing, PartyId, PartySet, Time, Topology};
 use std::collections::{BTreeMap, BTreeSet};
@@ -73,6 +73,11 @@ pub struct RelayEngine {
     topology: Topology,
     mode: RelayMode,
     signing_key: Option<SigningKey>,
+    /// Memoizing verification handle for signed mode (`None` otherwise). Re-verifying
+    /// the same relayed signature (e.g. duplicate deliveries racing the `delivered`
+    /// check) then skips the tag hash and registry lookup without changing any
+    /// accept/reject decision.
+    verifier: Option<Verifier>,
     next_id: u64,
     /// Majority mode: (origin, id) → payload digest → distinct relayers seen (plus the
     /// first payload observed for that digest).
@@ -110,12 +115,17 @@ impl RelayEngine {
         if matches!(mode, RelayMode::Signed { .. }) {
             assert!(signing_key.is_some(), "signed relay mode requires this party's signing key");
         }
+        let verifier = match &mode {
+            RelayMode::Signed { pki, .. } => Some(pki.verifier()),
+            _ => None,
+        };
         Self {
             me,
             parties,
             topology,
             mode,
             signing_key,
+            verifier,
             next_id: 0,
             tallies: BTreeMap::new(),
             delivered: BTreeSet::new(),
@@ -222,7 +232,7 @@ impl RelayEngine {
                             (Vec::new(), Vec::new())
                         }
                     }
-                    RelayMode::Signed { pki, key_of, max_age } => {
+                    RelayMode::Signed { pki: _, key_of, max_age } => {
                         let Some(signature) = signature else {
                             return (Vec::new(), Vec::new());
                         };
@@ -237,7 +247,9 @@ impl RelayEngine {
                         }
                         let digest =
                             relay_digest(origin, target, id, sent_at, &inner, self.parties.k());
-                        if !pki.verify(&signature, digest) {
+                        let verifier =
+                            self.verifier.as_mut().expect("signed mode holds a verifier");
+                        if !verifier.verify(&signature, digest) {
                             return (Vec::new(), Vec::new());
                         }
                         self.delivered.insert((origin, id));

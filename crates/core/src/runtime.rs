@@ -66,9 +66,9 @@ impl Process<WireMsg, MatchDecision> for PartyRuntime {
         self.id
     }
 
-    fn step(&mut self, now: Time, inbox: Vec<Envelope<WireMsg>>) -> Vec<Outgoing<WireMsg>> {
+    fn step(&mut self, now: Time, inbox: &mut Vec<Envelope<WireMsg>>) -> Vec<Outgoing<WireMsg>> {
         let mut out = Vec::new();
-        for envelope in inbox {
+        for envelope in inbox.drain(..) {
             let (accepted, duties) = self.relay.handle(envelope.from, envelope.payload, now);
             self.buffer.extend(accepted);
             out.extend(duties);
@@ -142,7 +142,7 @@ mod tests {
         let peer = PartyId::right(0);
         let mut rt = runtime(me, peer, Topology::FullyConnected, 1);
         assert_eq!(rt.slots_per_round(), 1);
-        let out = rt.step(Time(0), vec![]);
+        let out = rt.step(Time(0), &mut vec![]);
         assert_eq!(out.len(), 1);
         assert!(matches!(out[0].payload, WireMsg::Direct(_)));
         // Deliver a direct message; the protocol decides at the next round boundary.
@@ -153,7 +153,7 @@ mod tests {
             deliver_at: Time(1),
             payload: WireMsg::Direct(ProtoMsg { instance: 0, body: ProtoBody::Suggest(None) }),
         };
-        rt.step(Time(1), vec![env]);
+        rt.step(Time(1), &mut vec![env]);
         assert_eq!(rt.output(), Some(Some(peer)));
         assert!(format!("{rt:?}").contains("PartyRuntime"));
     }
@@ -164,17 +164,17 @@ mod tests {
         let me = PartyId::left(0);
         let peer = PartyId::left(1);
         let mut rt = runtime(me, peer, Topology::Bipartite, 2);
-        let out = rt.step(Time(0), vec![]);
+        let out = rt.step(Time(0), &mut vec![]);
         // k = 2 relayers on the right side.
         assert_eq!(out.len(), 2);
         assert!(out.iter().all(|o| matches!(o.payload, WireMsg::RelayRequest { .. })));
         // Mid-round slots do not advance the protocol.
-        let out = rt.step(Time(1), vec![]);
+        let out = rt.step(Time(1), &mut vec![]);
         assert!(out.is_empty());
         assert_eq!(rt.output(), None);
         // Round 3 (slot 6) with no messages: the protocol gives up and decides None.
         for slot in 2..=6 {
-            rt.step(Time(slot), vec![]);
+            rt.step(Time(slot), &mut vec![]);
         }
         assert_eq!(rt.output(), Some(None));
     }

@@ -61,7 +61,7 @@ impl<M, O> Default for PuppetAdversary<M, O> {
 impl<M: Clone, O> Adversary<M> for PuppetAdversary<M, O> {
     fn act(
         &mut self,
-        ctx: &AdversaryContext,
+        ctx: &AdversaryContext<'_>,
         inboxes: &BTreeMap<PartyId, Vec<Envelope<M>>>,
     ) -> Vec<(PartyId, Outgoing<M>)> {
         let mut out = Vec::new();
@@ -69,8 +69,8 @@ impl<M: Clone, O> Adversary<M> for PuppetAdversary<M, O> {
             if !ctx.corrupted.contains(&party) {
                 continue;
             }
-            let inbox = inboxes.get(&party).cloned().unwrap_or_default();
-            for outgoing in puppet.step(ctx.now, inbox) {
+            let mut inbox = inboxes.get(&party).cloned().unwrap_or_default();
+            for outgoing in puppet.step(ctx.now, &mut inbox) {
                 out.push((party, outgoing));
             }
         }
@@ -110,7 +110,7 @@ impl GarbageAdversary {
 impl Adversary<WireMsg> for GarbageAdversary {
     fn act(
         &mut self,
-        ctx: &AdversaryContext,
+        ctx: &AdversaryContext<'_>,
         _inboxes: &BTreeMap<PartyId, Vec<Envelope<WireMsg>>>,
     ) -> Vec<(PartyId, Outgoing<WireMsg>)> {
         let k = ctx.parties.k();
@@ -151,7 +151,7 @@ impl<M, O> Process<M, O> for CrashAfter<M, O> {
         self.inner.id()
     }
 
-    fn step(&mut self, now: Time, inbox: Vec<Envelope<M>>) -> Vec<Outgoing<M>> {
+    fn step(&mut self, now: Time, inbox: &mut Vec<Envelope<M>>) -> Vec<Outgoing<M>> {
         if now >= self.crash_at {
             return Vec::new();
         }
@@ -185,7 +185,7 @@ mod tests {
             fn id(&self) -> PartyId {
                 self.id
             }
-            fn step(&mut self, _now: Time, inbox: Vec<Envelope<u32>>) -> Vec<Outgoing<u32>> {
+            fn step(&mut self, _now: Time, inbox: &mut Vec<Envelope<u32>>) -> Vec<Outgoing<u32>> {
                 let count = inbox.len() as u32;
                 vec![Outgoing::new(self.target, count)]
             }
@@ -206,11 +206,13 @@ mod tests {
         );
         assert_eq!(adversary.len(), 2);
 
+        let corrupted: std::collections::BTreeSet<PartyId> =
+            [PartyId::left(0)].into_iter().collect();
         let ctx = AdversaryContext {
             now: Time(3),
             parties: PartySet::new(2),
             topology: Topology::FullyConnected,
-            corrupted: [PartyId::left(0)].into_iter().collect(),
+            corrupted: &corrupted,
             budget: CorruptionBudget::new(1, 0),
         };
         let sends = adversary.act(&ctx, &BTreeMap::new());
@@ -229,11 +231,13 @@ mod tests {
     #[test]
     fn garbage_adversary_respects_topology() {
         let mut adversary = GarbageAdversary::new(1, 2);
+        let corrupted: std::collections::BTreeSet<PartyId> =
+            [PartyId::left(0)].into_iter().collect();
         let ctx = AdversaryContext {
             now: Time(0),
             parties: PartySet::new(2),
             topology: Topology::Bipartite,
-            corrupted: [PartyId::left(0)].into_iter().collect(),
+            corrupted: &corrupted,
             budget: CorruptionBudget::new(1, 0),
         };
         let sends = adversary.act(&ctx, &BTreeMap::new());
@@ -255,7 +259,7 @@ mod tests {
             fn id(&self) -> PartyId {
                 self.id
             }
-            fn step(&mut self, _now: Time, _inbox: Vec<Envelope<u32>>) -> Vec<Outgoing<u32>> {
+            fn step(&mut self, _now: Time, _inbox: &mut Vec<Envelope<u32>>) -> Vec<Outgoing<u32>> {
                 vec![Outgoing::new(PartyId::right(0), 1)]
             }
             fn output(&self) -> Option<u32> {
@@ -264,15 +268,15 @@ mod tests {
         }
         let mut crashing = CrashAfter::new(Box::new(Chatty { id: PartyId::left(0) }), Time(2));
         assert_eq!(Process::<u32, u32>::id(&crashing), PartyId::left(0));
-        assert_eq!(crashing.step(Time(0), vec![]).len(), 1);
-        assert_eq!(crashing.step(Time(1), vec![]).len(), 1);
-        assert!(crashing.step(Time(2), vec![]).is_empty());
-        assert!(crashing.step(Time(5), vec![]).is_empty());
+        assert_eq!(crashing.step(Time(0), &mut vec![]).len(), 1);
+        assert_eq!(crashing.step(Time(1), &mut vec![]).len(), 1);
+        assert!(crashing.step(Time(2), &mut vec![]).is_empty());
+        assert!(crashing.step(Time(5), &mut vec![]).is_empty());
         assert_eq!(crashing.output(), Some(7));
 
         let mut dead: CrashAfter<u32, u32> =
             CrashAfter::new(Box::new(SilentProcess::new(PartyId::left(0))), Time::ZERO);
-        assert!(dead.step(Time(0), vec![]).is_empty());
+        assert!(dead.step(Time(0), &mut vec![]).is_empty());
         assert_eq!(dead.output(), None);
     }
 }

@@ -1,0 +1,71 @@
+//! Process-global counters for the crypto hot path.
+//!
+//! The scenario engine's performance is dominated by SHA-256 work: every digest
+//! computed and every signature verified costs a fixed number of compression rounds.
+//! These counters make that work *observable* — `campaign_ctl bench` reads them
+//! before and after a fixed campaign and reports the deltas in `BENCH_engine.json`,
+//! so an optimization that removes redundant hashing shows up as a hard counter drop
+//! even on single-core CI hardware where wall-clock is noisy.
+//!
+//! The counters are monotone, process-wide and updated with relaxed atomics: they
+//! never participate in protocol logic or exported reports (which stay byte-identical
+//! whatever the counters say) and impose one uncontended `fetch_add` per event.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIGESTS_COMPUTED: AtomicU64 = AtomicU64::new(0);
+static SIGNATURES_VERIFIED: AtomicU64 = AtomicU64::new(0);
+static VERIFY_CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+
+/// Records one finished digest computation ([`DigestWriter::finish`] or
+/// [`Digest::of_bytes`]).
+///
+/// [`DigestWriter::finish`]: crate::digest::DigestWriter::finish
+/// [`Digest::of_bytes`]: crate::digest::Digest::of_bytes
+pub(crate) fn count_digest() {
+    DIGESTS_COMPUTED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one full (uncached) signature verification.
+pub(crate) fn count_verification() {
+    SIGNATURES_VERIFIED.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Records one verification answered from a [`Verifier`](crate::pki::Verifier) memo.
+pub(crate) fn count_cache_hit() {
+    VERIFY_CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Total digests computed by this process so far.
+pub fn digests_computed() -> u64 {
+    DIGESTS_COMPUTED.load(Ordering::Relaxed)
+}
+
+/// Total full signature verifications performed by this process so far (memo hits
+/// excluded).
+pub fn signatures_verified() -> u64 {
+    SIGNATURES_VERIFIED.load(Ordering::Relaxed)
+}
+
+/// Total signature verifications answered from a per-verifier memo so far.
+pub fn verify_cache_hits() -> u64 {
+    VERIFY_CACHE_HITS.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_are_monotone() {
+        let d0 = digests_computed();
+        let v0 = signatures_verified();
+        let h0 = verify_cache_hits();
+        count_digest();
+        count_verification();
+        count_cache_hit();
+        assert!(digests_computed() > d0);
+        assert!(signatures_verified() > v0);
+        assert!(verify_cache_hits() > h0);
+    }
+}

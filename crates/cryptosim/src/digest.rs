@@ -1,5 +1,6 @@
 use crate::sha256::Sha256;
 use std::fmt;
+use std::fmt::Write as _;
 
 /// A 256-bit content digest.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -12,6 +13,7 @@ impl Digest {
 
     /// Hashes a byte string.
     pub fn of_bytes(data: &[u8]) -> Self {
+        crate::counters::count_digest();
         Digest(crate::sha256::sha256(data))
     }
 
@@ -34,7 +36,11 @@ impl Digest {
 
     /// A short hexadecimal prefix, for logs and Debug output.
     pub fn short_hex(&self) -> String {
-        self.0[..4].iter().map(|b| format!("{b:02x}")).collect()
+        let mut out = String::with_capacity(8);
+        for b in &self.0[..4] {
+            let _ = write!(out, "{b:02x}");
+        }
+        out
     }
 }
 
@@ -158,7 +164,19 @@ impl DigestWriter {
 
     /// Finishes and returns the digest.
     pub fn finish(self) -> Digest {
+        crate::counters::count_digest();
         Digest(self.hasher.finalize())
+    }
+
+    /// Finishes, returns the digest and resets the writer to the empty state.
+    ///
+    /// Hot paths that compute many digests keep one writer alive and call this
+    /// instead of constructing a writer per digest; together with the
+    /// allocation-free [`Sha256::finalize_reset`] the whole digest pipeline then
+    /// runs without heap allocation.
+    pub fn finish_reset(&mut self) -> Digest {
+        crate::counters::count_digest();
+        Digest(self.hasher.finalize_reset())
     }
 }
 
@@ -323,6 +341,22 @@ mod tests {
             w.finish()
         };
         assert_ne!(s1, s2);
+    }
+
+    #[test]
+    fn finish_reset_matches_finish_and_resets() {
+        let reference = {
+            let mut w = DigestWriter::new();
+            w.label("msg").u64(7);
+            w.finish()
+        };
+        let mut w = DigestWriter::new();
+        w.label("msg").u64(7);
+        assert_eq!(w.finish_reset(), reference);
+        // The same writer, reused, behaves like a fresh one.
+        w.label("msg").u64(7);
+        assert_eq!(w.finish_reset(), reference);
+        assert_eq!(w.finish_reset(), DigestWriter::new().finish());
     }
 
     #[test]

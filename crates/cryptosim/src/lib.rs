@@ -34,9 +34,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chain;
+pub mod counters;
 mod digest;
 mod pki;
 pub mod sha256;
 
+pub use chain::SigChain;
 pub use digest::{Digest, DigestWriter, Digestible};
-pub use pki::{KeyId, Pki, Signature, SigningKey, VerifyError};
+pub use pki::{KeyId, Pki, Signature, SigningKey, Verifier, VerifyError, VERIFY_MEMO_CAP};

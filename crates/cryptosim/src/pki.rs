@@ -1,6 +1,7 @@
 use crate::digest::{Digest, DigestWriter};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 /// Identifier of a key pair in the [`Pki`] directory (one per party).
@@ -72,13 +73,24 @@ impl fmt::Display for VerifyError {
 
 impl std::error::Error for VerifyError {}
 
+/// One key pair's slice of the signing registry.
+///
+/// The registry is sharded **per key**: signing with key `i` touches only shard `i`,
+/// so parties signing concurrently never contend on a shared lock (the former design
+/// funneled every `sign` and `verify` through one `RwLock<HashSet>`). The digest maps
+/// are append-only, which is what makes [`Verifier`] memoization sound.
+///
+/// Each signed digest maps to the content tag computed at signing time, so
+/// verification compares the claimed tag against the stored one instead of re-hashing
+/// — [`Pki::verify_detailed`] performs **zero** digest computations.
 #[derive(Debug, Default)]
-struct Registry {
-    /// Set of (signer, digest) pairs that were actually signed via a [`SigningKey`].
-    signed: HashSet<(KeyId, Digest)>,
-    /// Total number of [`SigningKey::sign`] calls against this registry (repeat
-    /// signatures over the same content count every time).
-    issued: u64,
+struct KeyShard {
+    /// Digests actually signed with this key via a [`SigningKey`], each mapped to its
+    /// [`expected_tag`].
+    signed: RwLock<HashMap<Digest, Digest>>,
+    /// Number of [`SigningKey::sign`] calls with this key (repeat signatures over the
+    /// same content count every time).
+    issued: AtomicU64,
 }
 
 /// A simulated public key infrastructure with idealized unforgeable signatures.
@@ -91,26 +103,30 @@ struct Registry {
 /// actually produced it for exactly that digest. Byzantine parties can replay or
 /// re-distribute signatures they have seen (as with real signatures) but cannot forge
 /// signatures of honest parties, matching the paper's §2 assumption.
+///
+/// Internally the signing registry is sharded per key (one lock per key), so signing
+/// and verifying against *different* keys never contend; repeat verifications of the
+/// same signature can additionally be memoized with a [`Verifier`] handle.
 #[derive(Debug, Clone)]
 pub struct Pki {
-    n: u32,
-    registry: Arc<RwLock<Registry>>,
+    shards: Arc<[KeyShard]>,
 }
 
 impl Pki {
     /// Creates a PKI with `n` key pairs, identified by `KeyId(0)…KeyId(n-1)`.
     pub fn new(n: u32) -> Self {
-        Self { n, registry: Arc::new(RwLock::new(Registry::default())) }
+        let shards: Vec<KeyShard> = (0..n).map(|_| KeyShard::default()).collect();
+        Self { shards: shards.into() }
     }
 
     /// Number of key pairs in the directory.
     pub fn len(&self) -> u32 {
-        self.n
+        self.shards.len() as u32
     }
 
     /// Returns `true` if the directory is empty.
     pub fn is_empty(&self) -> bool {
-        self.n == 0
+        self.shards.is_empty()
     }
 
     /// Hands out the signing key for `id`.
@@ -118,11 +134,17 @@ impl Pki {
     /// Returns `None` if `id` is not in the directory. The simulator calls this once per
     /// party at setup; handing a key to the adversary models corrupting that party.
     pub fn signing_key(&self, id: u32) -> Option<SigningKey> {
-        if id < self.n {
-            Some(SigningKey { id: KeyId(id), registry: Arc::clone(&self.registry) })
+        if (id as usize) < self.shards.len() {
+            Some(SigningKey { id: KeyId(id), shards: Arc::clone(&self.shards) })
         } else {
             None
         }
+    }
+
+    /// A verification handle that memoizes successfully verified signatures, so the
+    /// tag recomputation and registry lookup are paid once per distinct signature.
+    pub fn verifier(&self) -> Verifier {
+        Verifier { pki: self.clone(), seen: HashSet::new() }
     }
 
     /// Total number of signing operations performed with keys of this directory.
@@ -130,7 +152,7 @@ impl Pki {
     /// The cost experiments read this before and after a run to report how many
     /// signatures a protocol execution actually produced.
     pub fn signatures_issued(&self) -> u64 {
-        self.registry.read().expect("registry lock is never poisoned").issued
+        self.shards.iter().map(|shard| shard.issued.load(Ordering::Relaxed)).sum()
     }
 
     /// Verifies that `signature` is a valid signature by `signature.signer()` over
@@ -142,31 +164,99 @@ impl Pki {
 
     /// Verifies a signature, reporting why verification failed.
     ///
+    /// Hash-free: the claimed tag is compared against the tag stored at signing time,
+    /// which is equivalent to recomputing the expected tag (the stored tag *is* the
+    /// expected tag) — a digest the signer never signed fails the registry lookup, and
+    /// a tampered tag on a signed digest fails the comparison, exactly the two
+    /// `Forged` cases of the recomputing implementation.
+    ///
     /// # Errors
     ///
     /// Returns [`VerifyError::UnknownSigner`] if the signer id is not in the directory,
     /// [`VerifyError::DigestMismatch`] if the signature covers a different digest, and
-    /// [`VerifyError::Forged`] if the claimed signer never signed this digest.
+    /// [`VerifyError::Forged`] if the claimed signer never signed this digest or the
+    /// tag does not match.
     pub fn verify_detailed(
         &self,
         signature: &Signature,
         digest: Digest,
     ) -> Result<(), VerifyError> {
-        if signature.signer.0 >= self.n {
+        crate::counters::count_verification();
+        let Some(shard) = self.shards.get(signature.signer.0 as usize) else {
             return Err(VerifyError::UnknownSigner);
-        }
+        };
         if signature.digest != digest {
             return Err(VerifyError::DigestMismatch);
         }
-        if signature.tag != expected_tag(signature.signer, digest) {
-            return Err(VerifyError::Forged);
+        let signed = shard.signed.read().expect("registry lock is never poisoned");
+        match signed.get(&digest) {
+            Some(tag) if *tag == signature.tag => Ok(()),
+            _ => Err(VerifyError::Forged),
         }
-        let registry = self.registry.read().expect("registry lock is never poisoned");
-        if registry.signed.contains(&(signature.signer, digest)) {
-            Ok(())
-        } else {
-            Err(VerifyError::Forged)
+    }
+}
+
+/// A [`Pki`] verification handle with a memo of already-verified signatures.
+///
+/// Memoizing successes is sound because the signing registry is append-only: once a
+/// signature value has fully verified, it verifies forever. Failures are **never**
+/// memoized — a digest the signer had not signed yet may legitimately be signed later.
+/// The memo key is the complete [`Signature`] value (signer, digest *and* tag), so a
+/// tampered tag can never ride on a previously verified (signer, digest) pair, and the
+/// fast path also requires the queried digest to equal the signature's own: every
+/// result, cached or not, is identical to what [`Pki::verify_detailed`] would return.
+///
+/// Each protocol instance holds its own `Verifier` (they are cheap: a `Pki` handle
+/// plus a hash set), keeping the memo contention-free. The memo is bounded by
+/// [`VERIFY_MEMO_CAP`]: an adversary flooding a verifier with distinct valid
+/// signatures (each appearing once, so caching them buys nothing) cannot grow it
+/// without limit — once full, further successes simply verify uncached.
+#[derive(Debug, Clone)]
+pub struct Verifier {
+    pki: Pki,
+    seen: HashSet<Signature>,
+}
+
+/// Upper bound on distinct signatures a [`Verifier`] memoizes; the honest working set
+/// (one signature per signer per broadcast value in flight) stays far below it.
+pub const VERIFY_MEMO_CAP: usize = 1024;
+
+impl Verifier {
+    /// The directory this verifier checks against.
+    pub fn pki(&self) -> &Pki {
+        &self.pki
+    }
+
+    /// Number of distinct signatures memoized so far.
+    pub fn memoized(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Memoizing counterpart of [`Pki::verify`].
+    pub fn verify(&mut self, signature: &Signature, digest: Digest) -> bool {
+        self.verify_detailed(signature, digest).is_ok()
+    }
+
+    /// Memoizing counterpart of [`Pki::verify_detailed`] — same result for every
+    /// input, cached or not.
+    ///
+    /// # Errors
+    ///
+    /// Exactly the errors of [`Pki::verify_detailed`].
+    pub fn verify_detailed(
+        &mut self,
+        signature: &Signature,
+        digest: Digest,
+    ) -> Result<(), VerifyError> {
+        if signature.digest == digest && self.seen.contains(signature) {
+            crate::counters::count_cache_hit();
+            return Ok(());
         }
+        self.pki.verify_detailed(signature, digest)?;
+        if self.seen.len() < VERIFY_MEMO_CAP {
+            self.seen.insert(*signature);
+        }
+        Ok(())
     }
 }
 
@@ -174,7 +264,7 @@ impl Pki {
 #[derive(Debug, Clone)]
 pub struct SigningKey {
     id: KeyId,
-    registry: Arc<RwLock<Registry>>,
+    shards: Arc<[KeyShard]>,
 }
 
 impl SigningKey {
@@ -183,12 +273,17 @@ impl SigningKey {
         self.id
     }
 
-    /// Signs a digest.
+    /// Signs a digest. Touches only this key's registry shard, so concurrent signers
+    /// with different keys never contend; re-signing already-signed content reuses the
+    /// stored tag instead of re-hashing.
     pub fn sign(&self, digest: Digest) -> Signature {
-        let mut registry = self.registry.write().expect("registry lock is never poisoned");
-        registry.signed.insert((self.id, digest));
-        registry.issued += 1;
-        Signature { signer: self.id, digest, tag: expected_tag(self.id, digest) }
+        let shard = &self.shards[self.id.0 as usize];
+        let tag = {
+            let mut signed = shard.signed.write().expect("registry lock is never poisoned");
+            *signed.entry(digest).or_insert_with(|| expected_tag(self.id, digest))
+        };
+        shard.issued.fetch_add(1, Ordering::Relaxed);
+        Signature { signer: self.id, digest, tag }
     }
 }
 
@@ -300,6 +395,34 @@ mod tests {
         assert_eq!(pki.signatures_issued(), 3);
         // Clones observe the same counter.
         assert_eq!(pki.clone().signatures_issued(), 3);
+    }
+
+    #[test]
+    fn verifier_agrees_with_pki_and_memoizes_successes_only() {
+        let pki = Pki::new(2);
+        let key = pki.signing_key(0).unwrap();
+        let digest = Digest::of_bytes(b"memo");
+        let sig = key.sign(digest);
+        let mut verifier = pki.verifier();
+        assert_eq!(verifier.memoized(), 0);
+        assert_eq!(verifier.verify_detailed(&sig, digest), Ok(()));
+        assert_eq!(verifier.memoized(), 1);
+        // The repeat query is a memo hit with the same answer.
+        assert!(verifier.verify(&sig, digest));
+        assert_eq!(verifier.memoized(), 1);
+        // Failures pass through unmemoized and match the uncached reason.
+        let other = Digest::of_bytes(b"other");
+        assert_eq!(verifier.verify_detailed(&sig, other), pki.verify_detailed(&sig, other),);
+        assert_eq!(verifier.memoized(), 1);
+        // A digest signed only later verifies then — no stale negative caching.
+        let late = Digest::of_bytes(b"late");
+        let premature =
+            Signature { signer: KeyId(0), digest: late, tag: expected_tag(KeyId(0), late) };
+        assert_eq!(verifier.verify_detailed(&premature, late), Err(VerifyError::Forged));
+        let genuine = key.sign(late);
+        assert_eq!(genuine, premature, "same content, same signature value");
+        assert_eq!(verifier.verify_detailed(&premature, late), Ok(()));
+        assert!(!verifier.pki().is_empty());
     }
 
     #[test]

@@ -73,46 +73,40 @@ impl Sha256 {
 
     /// Finishes the hash and returns the 32-byte digest.
     pub fn finalize(mut self) -> [u8; 32] {
+        self.finalize_reset()
+    }
+
+    /// Finishes the hash, returns the 32-byte digest and resets the hasher to the
+    /// fresh state, so callers on the hot path can reuse one hasher (and its block
+    /// buffer) for many digests instead of constructing one per digest.
+    ///
+    /// Padding happens entirely inside the fixed 64-byte block buffer — no heap
+    /// allocation per digest.
+    pub fn finalize_reset(&mut self) -> [u8; 32] {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Append the 0x80 byte, pad with zeros, then the 64-bit big-endian length.
-        let mut padding = Vec::with_capacity(72);
-        padding.push(0x80u8);
-        let pad_zeros = {
-            let used = (self.total_len as usize + 1) % 64;
-            if used <= 56 {
-                56 - used
-            } else {
-                120 - used
-            }
-        };
-        padding.extend(std::iter::repeat_n(0u8, pad_zeros));
-        padding.extend_from_slice(&bit_len.to_be_bytes());
-        // Feed padding through the same buffering path (do not count it in total_len).
-        let mut input: &[u8] = &padding;
-        if self.buffer_len > 0 {
-            let take = (64 - self.buffer_len).min(input.len());
-            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&input[..take]);
-            self.buffer_len += take;
-            input = &input[take..];
-            if self.buffer_len == 64 {
-                let block = self.buffer;
-                self.compress(&block);
-                self.buffer_len = 0;
-            }
-        }
-        while input.len() >= 64 {
-            let mut block = [0u8; 64];
-            block.copy_from_slice(&input[..64]);
+        // Append the 0x80 byte; `buffer_len < 64` is an `update` invariant.
+        self.buffer[self.buffer_len] = 0x80;
+        self.buffer_len += 1;
+        if self.buffer_len > 56 {
+            // No room for the length in this block: zero-fill, compress, start over.
+            self.buffer[self.buffer_len..].fill(0);
+            let block = self.buffer;
             self.compress(&block);
-            input = &input[64..];
+            self.buffer_len = 0;
         }
-        debug_assert!(input.is_empty(), "padding always ends on a block boundary");
-        debug_assert_eq!(self.buffer_len, 0, "padding always ends on a block boundary");
+        // Zero padding up to the length field, then the 64-bit big-endian bit length.
+        self.buffer[self.buffer_len..56].fill(0);
+        self.buffer[56..].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.buffer;
+        self.compress(&block);
 
         let mut out = [0u8; 32];
         for (i, word) in self.state.iter().enumerate() {
             out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
         }
+        self.state = H0;
+        self.buffer_len = 0;
+        self.total_len = 0;
         out
     }
 
@@ -231,6 +225,20 @@ mod tests {
                 hasher.update(std::slice::from_ref(byte));
             }
             assert_eq!(hasher.finalize(), one_shot, "length {len}");
+        }
+    }
+
+    #[test]
+    fn finalize_reset_matches_finalize_and_resets() {
+        for len in [0usize, 3, 55, 56, 57, 63, 64, 65, 200] {
+            let data = vec![0x5au8; len];
+            let mut hasher = Sha256::new();
+            hasher.update(&data);
+            let via_reset = hasher.finalize_reset();
+            assert_eq!(via_reset, sha256(&data), "length {len}");
+            // The same hasher, reused, behaves like a fresh one.
+            hasher.update(b"abc");
+            assert_eq!(hasher.finalize_reset(), sha256(b"abc"), "reuse after length {len}");
         }
     }
 

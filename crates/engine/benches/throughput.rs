@@ -1,12 +1,15 @@
 //! Engine throughput: scenarios/sec of the campaign executor at 1, 2 and 4 worker
 //! threads over a small fixed grid (the ROADMAP's "criterion bench for the engine
-//! itself" item).
+//! itself" item), plus a Dolev-Strong-dominated configuration that exercises the
+//! signature-chain hot path (digest memoization, shared `SigChain` fan-out, sharded
+//! PKI) — the workload `campaign_ctl bench` snapshots into `BENCH_engine.json`.
 //!
 //! On single-core CI hardware the three thread counts measure about the same; the
 //! bench still pins the executor's overhead (work-queue claims, canonical-order
 //! merge) and becomes a real scaling curve on multi-core machines.
 
 use bsm_engine::{Campaign, CampaignBuilder, Executor};
+use bsm_net::Topology;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -14,6 +17,21 @@ use std::hint::black_box;
 /// auth modes (36 cells — large enough to keep 4 workers busy, small enough to bench).
 fn small_grid() -> Campaign {
     CampaignBuilder::new().sizes([3]).corruptions([(0, 0), (1, 1)]).seeds(0..1).build()
+}
+
+/// A Dolev-Strong-dominated grid: larger markets, authenticated fully-connected cells
+/// only, so every scenario runs `2k` parallel broadcast instances with `t + 1` relay
+/// rounds of growing signature chains. This is where the crypto hot-path
+/// optimizations are visible in criterion (not just in the `BENCH_engine.json`
+/// counters).
+fn dolev_strong_grid() -> Campaign {
+    CampaignBuilder::new()
+        .sizes([8, 10])
+        .topologies([Topology::FullyConnected])
+        .auth_modes([bsm_core::problem::AuthMode::Authenticated])
+        .corruptions([(2, 2)])
+        .seeds(0..1)
+        .build()
 }
 
 fn bench_campaign_throughput(c: &mut Criterion) {
@@ -28,5 +46,18 @@ fn bench_campaign_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_campaign_throughput);
+fn bench_dolev_strong_throughput(c: &mut Criterion) {
+    let campaign = dolev_strong_grid();
+    let mut group = c.benchmark_group("dolev_strong_throughput");
+    group.sample_size(10);
+    for threads in [1usize, 4] {
+        let executor = Executor::new().threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &executor, |b, executor| {
+            b.iter(|| executor.run(black_box(&campaign)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign_throughput, bench_dolev_strong_throughput);
 criterion_main!(benches);

@@ -1,0 +1,188 @@
+//! The fixed benchmark campaign behind `BENCH_engine.json`.
+//!
+//! `campaign_ctl bench` runs a **fixed, Dolev-Strong-heavy** campaign — authenticated
+//! fully-connected settings only, so every solvable cell executes the signature-chain
+//! hot path — and writes a [`BenchSnapshot`] as JSON. The snapshot is the engine's
+//! tracked performance trajectory: the repo root carries the latest
+//! `BENCH_engine.json`, and a PR that touches the hot path re-runs the mode and
+//! reports the before/after deltas.
+//!
+//! Two kinds of numbers live side by side:
+//!
+//! * **wall-clock** (`wall_seconds`, `scenarios_per_sec`) — honest but noisy on
+//!   shared single-core CI hardware,
+//! * **work counters** (`digests_computed`, `signatures_verified`,
+//!   `verify_cache_hits`, read as before/after deltas of
+//!   [`bsm_crypto::counters`]) — deterministic for a fixed campaign, so a hot-path
+//!   optimization shows up as a hard counter drop no matter the hardware.
+//!
+//! The deterministic campaign *outputs* (`messages`, `slots`, `signatures`) are
+//! included as a cross-check: an optimization must move the work counters while
+//! leaving these — and every exported report — untouched.
+
+use crate::campaign::{Campaign, CampaignBuilder};
+use crate::executor::Executor;
+use bsm_core::harness::AdversarySpec;
+use bsm_core::problem::AuthMode;
+use bsm_net::Topology;
+
+/// The JSON keys every snapshot carries, in output order. The CI `bench-smoke` job
+/// fails when any of them is missing from the written `BENCH_engine.json`.
+pub const REQUIRED_KEYS: [&str; 13] = [
+    "mode",
+    "threads",
+    "cells",
+    "completed",
+    "wall_seconds",
+    "scenarios_per_sec",
+    "signatures_issued",
+    "signatures_verified",
+    "verify_cache_hits",
+    "digests_computed",
+    "messages",
+    "slots",
+    "violations",
+];
+
+/// The fixed Dolev-Strong-heavy benchmark campaign.
+///
+/// Authenticated + fully connected pins the plan to Dolev-Strong broadcast (Theorem 5)
+/// for every cell, and the corruption pairs raise `t` so the signature chains grow:
+/// per cell, each of the `2k` parties runs `2k` broadcast instances of `t + 2` rounds,
+/// which is exactly the chain-verification workload the hot-path optimizations target.
+///
+/// `quick` selects the small CI grid (12 cells); the full grid (72 cells, sizes up to
+/// `k = 14` and `t` up to 10) is the one the tracked repo-root `BENCH_engine.json` is
+/// produced from.
+pub fn dolev_strong_campaign(quick: bool) -> Campaign {
+    let builder = CampaignBuilder::new()
+        .topologies([Topology::FullyConnected])
+        .auth_modes([AuthMode::Authenticated])
+        .adversaries(AdversarySpec::ALL);
+    if quick {
+        builder.sizes([3, 4]).corruptions([(1, 1)]).seeds(0..2).build()
+    } else {
+        builder.sizes([10, 12, 14]).corruptions([(4, 4), (5, 5)]).seeds(0..4).build()
+    }
+}
+
+/// One measured run of the fixed benchmark campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// `"quick"` (CI grid) or `"full"` (the tracked baseline grid).
+    pub mode: String,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Cells in the campaign.
+    pub cells: usize,
+    /// Cells whose protocol ran to completion.
+    pub completed: usize,
+    /// Wall-clock time of the run, in seconds.
+    pub wall_seconds: f64,
+    /// Cells per wall-clock second.
+    pub scenarios_per_sec: f64,
+    /// Signatures produced during the campaign (deterministic report total).
+    pub signatures_issued: u64,
+    /// Full signature verifications performed (process-counter delta).
+    pub signatures_verified: u64,
+    /// Verifications answered from a per-verifier memo (process-counter delta).
+    pub verify_cache_hits: u64,
+    /// Digests computed (process-counter delta).
+    pub digests_computed: u64,
+    /// Messages delivered across completed cells (deterministic report total).
+    pub messages: u64,
+    /// Simulated slots across completed cells (deterministic report total).
+    pub slots: u64,
+    /// Property violations across completed cells (must stay 0).
+    pub violations: usize,
+}
+
+impl BenchSnapshot {
+    /// Renders the snapshot as a small stable-key-order JSON document (one key per
+    /// line, every [`REQUIRED_KEYS`] entry present).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"mode\": \"{}\",\n  \"threads\": {},\n  \"cells\": {},\n  \
+             \"completed\": {},\n  \"wall_seconds\": {:.3},\n  \
+             \"scenarios_per_sec\": {:.1},\n  \"signatures_issued\": {},\n  \
+             \"signatures_verified\": {},\n  \"verify_cache_hits\": {},\n  \
+             \"digests_computed\": {},\n  \"messages\": {},\n  \"slots\": {},\n  \
+             \"violations\": {}\n}}\n",
+            self.mode,
+            self.threads,
+            self.cells,
+            self.completed,
+            self.wall_seconds,
+            self.scenarios_per_sec,
+            self.signatures_issued,
+            self.signatures_verified,
+            self.verify_cache_hits,
+            self.digests_computed,
+            self.messages,
+            self.slots,
+            self.violations
+        )
+    }
+}
+
+/// Runs the fixed benchmark campaign on `executor` and snapshots throughput and
+/// crypto-work counters.
+///
+/// The counter deltas are process-global ([`bsm_crypto::counters`]): run the bench in
+/// a process that is not concurrently hashing for other reasons (as `campaign_ctl
+/// bench` does) for exact numbers.
+pub fn run(executor: &Executor, quick: bool) -> BenchSnapshot {
+    let campaign = dolev_strong_campaign(quick);
+    let digests_before = bsm_crypto::counters::digests_computed();
+    let verified_before = bsm_crypto::counters::signatures_verified();
+    let hits_before = bsm_crypto::counters::verify_cache_hits();
+    let (report, stats) = executor.run(&campaign);
+    let totals = report.totals();
+    BenchSnapshot {
+        mode: if quick { "quick".into() } else { "full".into() },
+        threads: stats.threads,
+        cells: campaign.len(),
+        completed: totals.completed,
+        wall_seconds: stats.elapsed.as_secs_f64(),
+        scenarios_per_sec: stats.throughput(),
+        signatures_issued: totals.signatures,
+        signatures_verified: bsm_crypto::counters::signatures_verified() - verified_before,
+        verify_cache_hits: bsm_crypto::counters::verify_cache_hits() - hits_before,
+        digests_computed: bsm_crypto::counters::digests_computed() - digests_before,
+        messages: totals.messages,
+        slots: totals.slots,
+        violations: totals.violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_campaign_is_dolev_strong_only_and_fixed() {
+        let campaign = dolev_strong_campaign(true);
+        assert_eq!(campaign.len(), 12);
+        for spec in campaign.specs() {
+            assert_eq!(spec.topology, Topology::FullyConnected);
+            assert_eq!(spec.auth, AuthMode::Authenticated);
+        }
+        assert_eq!(dolev_strong_campaign(false).len(), 72);
+    }
+
+    #[test]
+    fn snapshot_json_carries_every_required_key() {
+        let executor = Executor::new().threads(1);
+        let snapshot = run(&executor, true);
+        assert_eq!(snapshot.cells, 12);
+        assert_eq!(snapshot.completed, 12, "every authenticated full-mesh cell is solvable");
+        assert_eq!(snapshot.violations, 0);
+        assert!(snapshot.signatures_issued > 0);
+        assert!(snapshot.signatures_verified > 0, "Dolev-Strong chains must verify");
+        assert!(snapshot.digests_computed > 0);
+        let json = snapshot.to_json();
+        for key in REQUIRED_KEYS {
+            assert!(json.contains(&format!("\"{key}\"")), "missing {key} in {json}");
+        }
+    }
+}

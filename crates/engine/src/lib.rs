@@ -115,6 +115,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod bench;
 pub mod campaign;
 pub mod diff;
 pub mod executor;
@@ -124,6 +125,7 @@ pub mod import;
 pub mod progress;
 pub mod report;
 
+pub use bench::BenchSnapshot;
 pub use campaign::{Campaign, CampaignBuilder};
 pub use diff::{CampaignDiff, CellDiff};
 pub use executor::{Executor, THREADS_ENV};

@@ -39,13 +39,17 @@ impl CorruptionBudget {
     }
 }
 
-/// A read-only snapshot of public network information offered to the adversary.
+/// A read-only view of public network information offered to the adversary.
 ///
 /// The adversary sees the topology, the corruption state, and the messages addressed to
 /// corrupted parties — but never the internal state of honest processes, matching the
 /// standard byzantine model with private channels.
+///
+/// The corrupted set is *borrowed* from the simulator: the context is rebuilt (for
+/// free) every time the adversary is consulted, instead of cloning the set twice per
+/// slot as the former owning design did.
 #[derive(Debug, Clone)]
-pub struct AdversaryContext {
+pub struct AdversaryContext<'a> {
     /// Current slot.
     pub now: Time,
     /// The party universe.
@@ -53,12 +57,12 @@ pub struct AdversaryContext {
     /// The communication topology (also enforced on byzantine messages).
     pub topology: Topology,
     /// Parties currently controlled by the adversary.
-    pub corrupted: BTreeSet<PartyId>,
+    pub corrupted: &'a BTreeSet<PartyId>,
     /// The corruption budget.
     pub budget: CorruptionBudget,
 }
 
-impl AdversaryContext {
+impl AdversaryContext<'_> {
     /// Convenience: all parties the adversary does not control.
     pub fn honest(&self) -> Vec<PartyId> {
         self.parties.iter().filter(|p| !self.corrupted.contains(p)).collect()
@@ -74,14 +78,14 @@ impl AdversaryContext {
 /// discarded by the simulator.
 pub trait Adversary<M> {
     /// Parties to corrupt at the beginning of this slot (may be empty).
-    fn plan_corruptions(&mut self, _ctx: &AdversaryContext) -> Vec<PartyId> {
+    fn plan_corruptions(&mut self, _ctx: &AdversaryContext<'_>) -> Vec<PartyId> {
         Vec::new()
     }
 
     /// Messages sent by corrupted parties this slot, as `(sender, outgoing)` pairs.
     fn act(
         &mut self,
-        _ctx: &AdversaryContext,
+        _ctx: &AdversaryContext<'_>,
         _inboxes: &BTreeMap<PartyId, Vec<Envelope<M>>>,
     ) -> Vec<(PartyId, Outgoing<M>)> {
         Vec::new()
@@ -123,11 +127,12 @@ mod tests {
 
     #[test]
     fn context_honest_listing() {
+        let corrupted: BTreeSet<PartyId> = [PartyId::left(0)].into_iter().collect();
         let ctx = AdversaryContext {
             now: Time::ZERO,
             parties: PartySet::new(2),
             topology: Topology::FullyConnected,
-            corrupted: [PartyId::left(0)].into_iter().collect(),
+            corrupted: &corrupted,
             budget: CorruptionBudget::new(1, 0),
         };
         let honest = ctx.honest();
@@ -137,11 +142,12 @@ mod tests {
 
     #[test]
     fn passive_adversary_never_acts() {
+        let corrupted = BTreeSet::new();
         let ctx = AdversaryContext {
             now: Time::ZERO,
             parties: PartySet::new(1),
             topology: Topology::Bipartite,
-            corrupted: BTreeSet::new(),
+            corrupted: &corrupted,
             budget: CorruptionBudget::NONE,
         };
         let mut adversary = PassiveAdversary;

@@ -16,7 +16,12 @@ pub trait Process<M, O> {
     fn id(&self) -> PartyId;
 
     /// Executes one slot: consumes delivered messages, returns messages to send.
-    fn step(&mut self, now: Time, inbox: Vec<Envelope<M>>) -> Vec<Outgoing<M>>;
+    ///
+    /// The inbox is handed over as `&mut Vec` so the simulator can **reuse the buffer
+    /// across slots** instead of allocating one per party per slot: implementations
+    /// take the messages with `inbox.drain(..)` (or just read them — the caller clears
+    /// whatever is left after the call).
+    fn step(&mut self, now: Time, inbox: &mut Vec<Envelope<M>>) -> Vec<Outgoing<M>>;
 
     /// The decision of this party, once reached.
     fn output(&self) -> Option<O>;
@@ -43,7 +48,7 @@ impl<M, O> Process<M, O> for SilentProcess {
         self.id
     }
 
-    fn step(&mut self, _now: Time, _inbox: Vec<Envelope<M>>) -> Vec<Outgoing<M>> {
+    fn step(&mut self, _now: Time, _inbox: &mut Vec<Envelope<M>>) -> Vec<Outgoing<M>> {
         Vec::new()
     }
 
@@ -60,7 +65,8 @@ mod tests {
     fn silent_process_does_nothing() {
         let mut p = SilentProcess::new(PartyId::left(1));
         assert_eq!(Process::<u32, u32>::id(&p), PartyId::left(1));
-        let out: Vec<Outgoing<u32>> = Process::<u32, u32>::step(&mut p, Time::ZERO, Vec::new());
+        let out: Vec<Outgoing<u32>> =
+            Process::<u32, u32>::step(&mut p, Time::ZERO, &mut Vec::new());
         assert!(out.is_empty());
         assert_eq!(Process::<u32, u32>::output(&p), None);
     }

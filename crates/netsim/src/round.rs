@@ -67,8 +67,8 @@ impl<P: RoundProtocol> Process<P::Msg, P::Output> for RoundDriver<P> {
         self.id
     }
 
-    fn step(&mut self, now: Time, inbox: Vec<Envelope<P::Msg>>) -> Vec<Outgoing<P::Msg>> {
-        self.buffer.extend(inbox.into_iter().map(|env| (env.from, env.payload)));
+    fn step(&mut self, now: Time, inbox: &mut Vec<Envelope<P::Msg>>) -> Vec<Outgoing<P::Msg>> {
+        self.buffer.extend(inbox.drain(..).map(|env| (env.from, env.payload)));
         if !now.slot().is_multiple_of(self.slots_per_round) {
             return Vec::new();
         }
@@ -130,17 +130,17 @@ mod tests {
         assert_eq!(driver.slots_per_round(), 2);
 
         // Slot 0: round 0 → send.
-        let out = driver.step(Time(0), vec![]);
+        let out = driver.step(Time(0), &mut vec![]);
         assert_eq!(out.len(), 1);
         // Slot 1: mid-round, messages received are buffered, nothing sent.
         let env =
             Envelope { from: peer, to: me, sent_at: Time(0), deliver_at: Time(1), payload: 5 };
-        assert!(driver.step(Time(1), vec![env]).is_empty());
+        assert!(driver.step(Time(1), &mut vec![env]).is_empty());
         assert!(driver.protocol().output.is_none());
         // Slot 2: round 1 → consume the buffered message and decide.
         let env2 =
             Envelope { from: peer, to: me, sent_at: Time(1), deliver_at: Time(2), payload: 7 };
-        assert!(driver.step(Time(2), vec![env2]).is_empty());
+        assert!(driver.step(Time(2), &mut vec![env2]).is_empty());
         assert_eq!(Process::<u64, u64>::output(&driver), Some(12));
     }
 

@@ -99,6 +99,18 @@ pub struct SyncNetwork<M, O> {
     outputs: BTreeMap<PartyId, O>,
     now: Time,
     metrics: Metrics,
+    // Reusable per-slot buffers: cleared (not dropped) at the end of every slot, so
+    // steady-state stepping performs no per-slot Vec allocations.
+    /// Per-party inbox buffers, reused across slots.
+    inboxes: BTreeMap<PartyId, Vec<Envelope<M>>>,
+    /// Messages due for delivery this slot.
+    due: Vec<Envelope<M>>,
+    /// Messages staying in flight past this slot (swapped with `in_flight`).
+    later: Vec<Envelope<M>>,
+    /// Honest sends collected this slot.
+    to_send: Vec<(PartyId, Outgoing<M>)>,
+    /// Honest parties of the current slot.
+    honest: Vec<PartyId>,
 }
 
 impl<M, O> fmt::Debug for SyncNetwork<M, O> {
@@ -133,6 +145,11 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
             outputs: BTreeMap::new(),
             now: Time::ZERO,
             metrics: Metrics::default(),
+            inboxes: BTreeMap::new(),
+            due: Vec::new(),
+            later: Vec::new(),
+            to_send: Vec::new(),
+            honest: Vec::new(),
         }
     }
 
@@ -208,16 +225,6 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
         Ok(())
     }
 
-    fn adversary_context(&self) -> AdversaryContext {
-        AdversaryContext {
-            now: self.now,
-            parties: self.parties,
-            topology: self.topology,
-            corrupted: self.corrupted.clone(),
-            budget: self.budget,
-        }
-    }
-
     /// Validates an outgoing message and, if accepted, enqueues it for delivery at the
     /// next slot.
     fn enqueue(&mut self, from: PartyId, outgoing: Outgoing<M>, byzantine: bool) {
@@ -241,58 +248,89 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
     }
 
     /// Executes a single slot.
+    ///
+    /// Steady-state stepping is allocation-light: the per-slot inbox, delivery and
+    /// send buffers live on the network and are cleared — not dropped — between
+    /// slots, and the adversary context borrows the corrupted set instead of cloning
+    /// it at every consultation.
     pub fn step(&mut self) {
         // 1. Adaptive corruptions.
-        let ctx = self.adversary_context();
-        for party in self.adversary.plan_corruptions(&ctx) {
+        let requested = self.adversary.plan_corruptions(&AdversaryContext {
+            now: self.now,
+            parties: self.parties,
+            topology: self.topology,
+            corrupted: &self.corrupted,
+            budget: self.budget,
+        });
+        for party in requested {
             // Requests beyond the budget or outside the party set are ignored: the
             // adversary cannot exceed (tL, tR) by construction.
             let _ = self.corrupt(party);
         }
 
-        // 2. Deliver messages due at this slot.
-        let mut inboxes: BTreeMap<PartyId, Vec<Envelope<M>>> = BTreeMap::new();
-        let due: Vec<Envelope<M>> = {
-            let now = self.now;
-            let (due, later): (Vec<_>, Vec<_>) =
-                self.in_flight.drain(..).partition(|env| env.deliver_at <= now);
-            self.in_flight = later;
-            due
-        };
-        for envelope in due {
-            self.metrics.delivered_messages += 1;
-            inboxes.entry(envelope.to).or_default().push(envelope);
+        // 2. Deliver messages due at this slot (stable split, preserving the enqueue
+        // order so same-sender-same-slot messages keep their deterministic order).
+        let now = self.now;
+        for envelope in self.in_flight.drain(..) {
+            if envelope.deliver_at <= now {
+                self.due.push(envelope);
+            } else {
+                self.later.push(envelope);
+            }
         }
-        // Deterministic delivery order within a slot: sort by sender.
-        for inbox in inboxes.values_mut() {
+        std::mem::swap(&mut self.in_flight, &mut self.later);
+        for envelope in self.due.drain(..) {
+            self.metrics.delivered_messages += 1;
+            self.inboxes.entry(envelope.to).or_default().push(envelope);
+        }
+        // Deterministic delivery order within a slot: sort by sender (stable).
+        for inbox in self.inboxes.values_mut() {
             inbox.sort_by_key(|env| (env.from, env.sent_at));
         }
 
         // 3. Step honest processes.
-        let honest: Vec<PartyId> =
-            self.processes.keys().copied().filter(|p| !self.corrupted.contains(p)).collect();
-        let mut to_send: Vec<(PartyId, Outgoing<M>)> = Vec::new();
-        for party in &honest {
-            let inbox = inboxes.remove(party).unwrap_or_default();
-            let process = self.processes.get_mut(party).expect("honest process exists");
-            for outgoing in process.step(self.now, inbox) {
-                to_send.push((*party, outgoing));
+        self.honest.clear();
+        let corrupted = &self.corrupted;
+        self.honest.extend(self.processes.keys().copied().filter(|p| !corrupted.contains(p)));
+        let mut to_send = std::mem::take(&mut self.to_send);
+        for i in 0..self.honest.len() {
+            let party = self.honest[i];
+            let process = self.processes.get_mut(&party).expect("honest process exists");
+            let inbox = self.inboxes.entry(party).or_default();
+            for outgoing in process.step(now, inbox) {
+                to_send.push((party, outgoing));
             }
-            if !self.outputs.contains_key(party) {
+            if let std::collections::btree_map::Entry::Vacant(entry) = self.outputs.entry(party) {
                 if let Some(output) = process.output() {
-                    self.outputs.insert(*party, output);
+                    entry.insert(output);
                 }
             }
         }
-        for (from, outgoing) in to_send {
+        for (from, outgoing) in to_send.drain(..) {
             self.enqueue(from, outgoing, false);
         }
+        self.to_send = to_send;
 
-        // 4. The adversary acts with the corrupted parties' inboxes.
-        let corrupted_inboxes: BTreeMap<PartyId, Vec<Envelope<M>>> =
-            inboxes.into_iter().filter(|(party, _)| self.corrupted.contains(party)).collect();
-        let ctx = self.adversary_context();
-        let byzantine_sends = self.adversary.act(&ctx, &corrupted_inboxes);
+        // 4. The adversary acts with the corrupted parties' inboxes. Their buffers are
+        // lent out by value for the call and reclaimed (cleared) afterwards.
+        let mut corrupted_inboxes: BTreeMap<PartyId, Vec<Envelope<M>>> = BTreeMap::new();
+        for &party in &self.corrupted {
+            if let Some(inbox) = self.inboxes.get_mut(&party) {
+                if !inbox.is_empty() {
+                    corrupted_inboxes.insert(party, std::mem::take(inbox));
+                }
+            }
+        }
+        let byzantine_sends = self.adversary.act(
+            &AdversaryContext {
+                now: self.now,
+                parties: self.parties,
+                topology: self.topology,
+                corrupted: &self.corrupted,
+                budget: self.budget,
+            },
+            &corrupted_inboxes,
+        );
         for (from, outgoing) in byzantine_sends {
             if !self.corrupted.contains(&from) {
                 // The adversary can only speak for parties it controls.
@@ -300,6 +338,17 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
                 continue;
             }
             self.enqueue(from, outgoing, true);
+        }
+        for (party, inbox) in corrupted_inboxes {
+            self.inboxes.insert(party, inbox);
+        }
+        // Single end-of-slot sweep: every inbox buffer — honest (drained or not by its
+        // process), corrupted (returned from the adversary), or undeliverable (a party
+        // with no registered process when `step` is driven directly) — is emptied
+        // here, exactly as the former per-slot map dropped its contents. The buffers
+        // themselves are retained for the next slot.
+        for inbox in self.inboxes.values_mut() {
+            inbox.clear();
         }
 
         self.metrics.slots += 1;
@@ -333,10 +382,10 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
         let all_honest_decided = self.all_honest_decided();
         // Outputs of parties that were corrupted after deciding stay recorded, but the
         // bSM property checkers only consider never-corrupted parties; drop the rest to
-        // keep the outcome unambiguous.
-        let corrupted = self.corrupted.clone();
-        let outputs =
-            self.outputs.into_iter().filter(|(party, _)| !corrupted.contains(party)).collect();
+        // keep the outcome unambiguous. Both sets move out — no cloning.
+        let mut outputs = self.outputs;
+        let corrupted = self.corrupted;
+        outputs.retain(|party, _| !corrupted.contains(party));
         Ok(RunOutcome {
             outputs,
             corrupted,
@@ -374,8 +423,8 @@ mod tests {
             self.id
         }
 
-        fn step(&mut self, now: Time, inbox: Vec<Envelope<u32>>) -> Vec<Outgoing<u32>> {
-            for env in inbox {
+        fn step(&mut self, now: Time, inbox: &mut Vec<Envelope<u32>>) -> Vec<Outgoing<u32>> {
+            for env in inbox.drain(..) {
                 self.heard.insert(env.from);
             }
             match now.slot() {
@@ -534,7 +583,7 @@ mod tests {
     }
 
     impl Adversary<u32> for EquivocatingAdversary {
-        fn plan_corruptions(&mut self, ctx: &AdversaryContext) -> Vec<PartyId> {
+        fn plan_corruptions(&mut self, ctx: &AdversaryContext<'_>) -> Vec<PartyId> {
             if ctx.now == Time(1) {
                 self.adaptively_corrupt.take().into_iter().collect()
             } else {
@@ -544,11 +593,11 @@ mod tests {
 
         fn act(
             &mut self,
-            ctx: &AdversaryContext,
+            ctx: &AdversaryContext<'_>,
             _inboxes: &BTreeMap<PartyId, Vec<Envelope<u32>>>,
         ) -> Vec<(PartyId, Outgoing<u32>)> {
             let mut out = Vec::new();
-            for &byzantine in &ctx.corrupted {
+            for &byzantine in ctx.corrupted {
                 for (i, honest) in ctx.honest().into_iter().enumerate() {
                     if ctx.topology.connects(byzantine, honest) {
                         out.push((byzantine, Outgoing::new(honest, 100 + i as u32)));
