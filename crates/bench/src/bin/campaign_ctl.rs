@@ -36,16 +36,37 @@
 //!     shards/1/report.jsonl shards/2/report.jsonl shards/3/report.jsonl
 //! ```
 //!
-//! `diff` accepts both formats (`.jsonl` exports are detected by extension).
+//! `diff` accepts both formats (`.jsonl` exports are detected by extension,
+//! case-insensitively).
+//!
+//! # Crash recovery (`resume`)
+//!
+//! A streamed run that dies mid-campaign leaves its completed cells at
+//! `report.jsonl.partial` — the stream is written there and renamed to
+//! `report.jsonl` only once footered. `resume` (with the same `--smoke`/`--shard`
+//! flags as the interrupted run) salvages the valid cell prefix, re-runs only the
+//! missing cells, and splices prefix + fresh cells into artifacts byte-identical
+//! to an uninterrupted run:
+//!
+//! ```sh
+//! campaign_ctl run  --smoke --stream --shard 2/3 --out shards/2   # ... killed!
+//! campaign_ctl resume --smoke --shard 2/3 --out shards/2
+//! ```
+//!
+//! All final artifacts (`report.json`, `report.csv`, `BENCH_engine.json`) are
+//! published through a temp-file + atomic-rename, so a crash at any instant can
+//! never leave a truncated file at a tracked path.
 
 use bsm_bench::cli::BenchArgs;
 use bsm_core::harness::AdversarySpec;
 use bsm_engine::export::{
-    to_csv, to_json, MergedJsonWriter, StreamingCsvWriter, StreamingExporter,
+    atomic_write, to_csv, to_json, AtomicFile, MergedJsonWriter, StreamingCsvWriter,
+    StreamingExporter,
 };
 use bsm_engine::import::{footer_totals, from_json, from_jsonl, StreamingCells};
 use bsm_engine::{
-    Campaign, CampaignBuilder, CampaignDiff, CampaignReport, CellMerge, Executor, Progress, Totals,
+    Campaign, CampaignBuilder, CampaignDiff, CampaignReport, CellMerge, Executor, Progress,
+    ShardPlan, Totals,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -74,28 +95,56 @@ fn build_campaign(smoke: bool) -> Campaign {
     }
 }
 
-/// Writes `report.json` and `report.csv` for `report` under `dir`.
+/// Writes `report.json` and `report.csv` for `report` under `dir` (each through a
+/// temp-file + atomic rename — see [`atomic_write`]).
 fn export_report(report: &CampaignReport, dir: &Path) -> Result<(), String> {
     let json_path = dir.join("report.json");
     let csv_path = dir.join("report.csv");
     std::fs::create_dir_all(dir)
-        .and_then(|()| std::fs::write(&json_path, to_json(report)))
-        .and_then(|()| std::fs::write(&csv_path, to_csv(report)))
+        .and_then(|()| atomic_write(&json_path, to_json(report)))
+        .and_then(|()| atomic_write(&csv_path, to_csv(report)))
         .map_err(|err| format!("cannot write to {}: {err}", dir.display()))?;
     println!("exported {} and {}", json_path.display(), csv_path.display());
     Ok(())
 }
 
 /// Reads and imports one exported report: `report.json`, or a streamed
-/// `report.jsonl` (detected by extension).
+/// `report.jsonl` (detected by extension, case-insensitively).
 fn import_report(path: &str) -> Result<CampaignReport, String> {
-    if Path::new(path).extension().is_some_and(|ext| ext == "jsonl") {
+    let streamed = Path::new(path).extension().is_some_and(|ext| ext.eq_ignore_ascii_case("jsonl"));
+    if streamed {
         let file = File::open(path).map_err(|err| format!("cannot read {path}: {err}"))?;
         return from_jsonl(BufReader::new(file))
-            .map_err(|err| format!("cannot import {path}: {err}"));
+            .map_err(|err| format!("cannot import streamed export {path}: {err}"));
     }
     let text = std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
-    from_json(&text).map_err(|err| format!("cannot import {path}: {err}"))
+    from_json(&text).map_err(|err| {
+        format!(
+            "cannot import {path}: {err} (expected a report.json document; streamed \
+             report.jsonl exports are detected by their .jsonl extension)"
+        )
+    })
+}
+
+/// Removes a stale artifact left by an earlier run, tolerating its absence.
+fn remove_stale(path: &Path) -> Result<(), String> {
+    match std::fs::remove_file(path) {
+        Ok(()) => Ok(()),
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => Ok(()),
+        Err(err) => Err(format!("cannot remove stale {}: {err}", path.display())),
+    }
+}
+
+/// Flushes and fsyncs a completed streamed JSONL export at its `.partial` path,
+/// then publishes it at the final path with an atomic rename.
+fn publish_partial(jsonl: BufWriter<File>, partial: &Path, dest: &Path) -> Result<(), String> {
+    let file = jsonl
+        .into_inner()
+        .map_err(|err| format!("cannot flush {}: {}", partial.display(), err.into_error()))?;
+    file.sync_all().map_err(|err| format!("cannot sync {}: {err}", partial.display()))?;
+    drop(file);
+    std::fs::rename(partial, dest)
+        .map_err(|err| format!("cannot publish {}: {err}", dest.display()))
 }
 
 fn run(args: &BenchArgs) -> Result<(), String> {
@@ -123,19 +172,29 @@ fn run(args: &BenchArgs) -> Result<(), String> {
 /// never held in memory. The per-shard CSV is byte-identical to the `to_csv` export
 /// of the same shard run in memory (CSV needs no totals header, so it can stream on
 /// the shard side too).
+///
+/// Crash safety: the JSONL stream is written at `report.jsonl.partial` and renamed
+/// to `report.jsonl` only once footered, so a crash (or failure) at any instant
+/// leaves the completed cells salvageable for [`resume`] and never a truncated
+/// stream at the final path. The CSV goes through an [`AtomicFile`].
 fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> Result<(), String> {
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
     std::fs::create_dir_all(&out)
         .map_err(|err| format!("cannot create {}: {err}", out.display()))?;
     let path = out.join("report.jsonl");
+    let partial_path = out.join("report.jsonl.partial");
     let csv_path = out.join("report.csv");
-    let result = (|| {
-        let file =
-            File::create(&path).map_err(|err| format!("cannot write {}: {err}", path.display()))?;
-        let csv_file = File::create(&csv_path)
-            .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
-        let mut exporter = StreamingExporter::new(BufWriter::new(file));
-        let mut csv = StreamingCsvWriter::new(BufWriter::new(csv_file))
+    // A stale report.jsonl from an earlier run must not sit next to this run's
+    // partial: an interrupted run would otherwise look complete to a later merge.
+    remove_stale(&path)?;
+    let file = File::create(&partial_path)
+        .map_err(|err| format!("cannot write {}: {err}", partial_path.display()))?;
+    let mut jsonl = BufWriter::new(file);
+    let mut csv_out = AtomicFile::create(&csv_path)
+        .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
+    let result = (|| -> Result<(Totals, bsm_engine::ExecutionStats), String> {
+        let mut exporter = StreamingExporter::new(&mut jsonl);
+        let mut csv = StreamingCsvWriter::new(&mut csv_out)
             .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
         let mut sink = |cell: bsm_engine::CellRecord| {
             exporter.write_cell(&cell)?;
@@ -145,25 +204,153 @@ fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> R
             Some(plan) => executor.run_shard_streaming(campaign, plan, &mut sink),
             None => executor.run_streaming(campaign, &mut sink),
         };
-        let (totals, stats) =
-            run.map_err(|err| format!("streamed export to {} failed: {err}", path.display()))?;
-        exporter.finish().map_err(|err| format!("cannot finish {}: {err}", path.display()))?;
+        let (totals, stats) = run.map_err(|err| {
+            format!("streamed export to {} failed: {err}", partial_path.display())
+        })?;
+        exporter
+            .finish()
+            .map_err(|err| format!("cannot finish {}: {err}", partial_path.display()))?;
         csv.finish().map_err(|err| format!("cannot finish {}: {err}", csv_path.display()))?;
         Ok((totals, stats))
     })();
     let (totals, stats) = match result {
-        Ok(done) => done,
+        Ok(finished) => finished,
         Err(message) => {
-            // Never leave a footerless (truncated) stream or a partial CSV behind a
-            // failed run: a later merge --stream globbing shard dirs would trip over
-            // it.
-            let _ = std::fs::remove_file(&path);
-            let _ = std::fs::remove_file(&csv_path);
-            return Err(message);
+            // Keep the salvageable prefix at report.jsonl.partial; the CSV staging
+            // file is discarded by the AtomicFile drop, leaving no partial CSV.
+            drop(csv_out);
+            return Err(format!(
+                "{message} (completed cells kept at {}; `campaign_ctl resume` with the \
+                 same flags finishes the run)",
+                partial_path.display()
+            ));
         }
     };
+    publish_partial(jsonl, &partial_path, &path)?;
+    csv_out.persist().map_err(|err| format!("cannot publish {}: {err}", csv_path.display()))?;
     eprintln!("{stats}");
     println!("totals: {totals}");
+    println!("exported {} and {}", path.display(), csv_path.display());
+    Ok(())
+}
+
+/// `resume --out DIR`: finish a crash-interrupted `run --stream`.
+///
+/// Salvages the valid ordered cell prefix of the interrupted export
+/// (`report.jsonl.partial` when present, else `report.jsonl`), verifies it against
+/// the shard's canonical work list, re-runs only the un-run remainder of the
+/// shard's range ([`ShardPlan::remainder`]), and splices prefix + fresh cells into
+/// a complete footered `report.jsonl` + `report.csv` — byte-identical to an
+/// uninterrupted `run --stream`. Pass the same `--smoke`/`--shard` flags as the
+/// interrupted run; the salvaged prefix is held in memory while the output is
+/// rewritten through the same partial-then-rename scheme as `run --stream`.
+fn resume(args: &BenchArgs) -> Result<(), String> {
+    if !args.files.is_empty() {
+        return Err("resume: file arguments are not supported (pass --out DIR of the \
+             interrupted run, plus its --smoke/--shard flags)"
+            .into());
+    }
+    let out = args.out.clone().ok_or_else(|| {
+        "resume: --out DIR is required (the directory of the interrupted streamed run)".to_string()
+    })?;
+    let campaign = build_campaign(args.smoke);
+    let plan = args.shard.unwrap_or(ShardPlan::WHOLE);
+    let shard = campaign.shard(plan);
+    let path = out.join("report.jsonl");
+    let partial_path = out.join("report.jsonl.partial");
+    let csv_path = out.join("report.csv");
+    let source = if partial_path.exists() { partial_path.clone() } else { path.clone() };
+    let file = File::open(&source).map_err(|err| {
+        format!(
+            "cannot read {}: {err} (nothing to resume; run `campaign_ctl run --stream` first)",
+            source.display()
+        )
+    })?;
+    let salvaged = StreamingCells::salvage(BufReader::new(file))
+        .map_err(|err| format!("cannot salvage {}: {err}", source.display()))?;
+    let done = salvaged.cells.len();
+    // The prefix must be exactly the head of this shard's canonical work list —
+    // anything else means the flags do not match the interrupted run (or the
+    // export lost an interior cell), and splicing would ship a wrong artifact.
+    if done > shard.len() {
+        return Err(format!(
+            "salvaged {done} cell(s) but shard {plan} has only {} — wrong --smoke/--shard \
+             flags for this export?",
+            shard.len()
+        ));
+    }
+    for (cell, expected) in salvaged.cells.iter().zip(shard.specs()) {
+        if cell.spec != *expected {
+            return Err(format!(
+                "salvaged cell {} does not match the shard's work list (expected {}) — \
+                 wrong --smoke/--shard flags for this export?",
+                cell.spec, expected
+            ));
+        }
+    }
+    match (&salvaged.truncation, salvaged.complete) {
+        (Some(reason), _) => {
+            eprintln!("salvaged {done} cell(s) from {} (stopped at: {reason})", source.display());
+        }
+        (None, false) => {
+            eprintln!("salvaged {done} cell(s) from {} (no footer)", source.display());
+        }
+        (None, true) => {
+            eprintln!("salvaged all {done} cell(s) from {} (complete export)", source.display());
+        }
+    }
+    let remainder = plan.remainder(campaign.len(), done);
+    let fresh = remainder.len();
+    let executor = args.executor().progress(Progress::Stderr { every: 250 });
+    eprintln!("re-running {fresh} remaining cell(s) of shard {plan} of {campaign}");
+    // Same crash-safe scheme as `run --stream`: the spliced stream goes to
+    // report.jsonl.partial (truncating the source we already hold in memory) and is
+    // renamed into place only once footered.
+    remove_stale(&path)?;
+    let jsonl_file = File::create(&partial_path)
+        .map_err(|err| format!("cannot write {}: {err}", partial_path.display()))?;
+    let mut jsonl = BufWriter::new(jsonl_file);
+    let mut csv_out = AtomicFile::create(&csv_path)
+        .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
+    let result = (|| -> Result<(Totals, bsm_engine::ExecutionStats), String> {
+        let mut exporter = StreamingExporter::new(&mut jsonl);
+        let mut csv = StreamingCsvWriter::new(&mut csv_out)
+            .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
+        for cell in &salvaged.cells {
+            exporter.write_cell(cell).and_then(|()| csv.write_cell(cell)).map_err(|err| {
+                format!("cannot replay the salvaged prefix into {}: {err}", partial_path.display())
+            })?;
+        }
+        let mut sink = |cell: bsm_engine::CellRecord| {
+            exporter.write_cell(&cell)?;
+            csv.write_cell(&cell)
+        };
+        let run = executor.run_range_streaming(&campaign, remainder, &mut sink);
+        let (_, stats) = run.map_err(|err| {
+            format!("streamed export to {} failed: {err}", partial_path.display())
+        })?;
+        let totals = exporter
+            .finish()
+            .map_err(|err| format!("cannot finish {}: {err}", partial_path.display()))?;
+        csv.finish().map_err(|err| format!("cannot finish {}: {err}", csv_path.display()))?;
+        Ok((totals, stats))
+    })();
+    let (totals, stats) = match result {
+        Ok(finished) => finished,
+        Err(message) => {
+            drop(csv_out);
+            return Err(format!(
+                "{message} (completed cells kept at {}; rerun `campaign_ctl resume` to \
+                 finish)",
+                partial_path.display()
+            ));
+        }
+    };
+    publish_partial(jsonl, &partial_path, &path)?;
+    csv_out.persist().map_err(|err| format!("cannot publish {}: {err}", csv_path.display()))?;
+    eprintln!("{stats}");
+    println!("totals: {totals}");
+    println!("resumed: {done} salvaged + {fresh} fresh cell(s)");
     println!("exported {} and {}", path.display(), csv_path.display());
     Ok(())
 }
@@ -193,7 +380,7 @@ fn bench(args: &BenchArgs) -> Result<(), String> {
     let dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
     let path = dir.join("BENCH_engine.json");
     std::fs::create_dir_all(&dir)
-        .and_then(|()| std::fs::write(&path, snapshot.to_json()))
+        .and_then(|()| atomic_write(&path, snapshot.to_json()))
         .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
     println!(
         "{} cells in {:.3}s ({:.1} scenarios/sec); {} signatures verified \
@@ -249,14 +436,16 @@ fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
         .map_err(|err| format!("cannot create {}: {err}", out.display()))?;
     let json_path = out.join("report.json");
     let csv_path = out.join("report.csv");
-    let result = (|| -> Result<Totals, String> {
-        let json_file = File::create(&json_path)
-            .map_err(|err| format!("cannot write {}: {err}", json_path.display()))?;
-        let csv_file = File::create(&csv_path)
-            .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
-        let mut json = MergedJsonWriter::new(BufWriter::new(json_file), declared)
+    // Atomic publication: a failed (or killed) merge leaves no half-written artifact
+    // at the final paths — the AtomicFile drop discards the staging files.
+    let mut json_out = AtomicFile::create(&json_path)
+        .map_err(|err| format!("cannot write {}: {err}", json_path.display()))?;
+    let mut csv_out = AtomicFile::create(&csv_path)
+        .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
+    let totals = (|| -> Result<Totals, String> {
+        let mut json = MergedJsonWriter::new(&mut json_out, declared)
             .map_err(|err| format!("cannot start {}: {err}", json_path.display()))?;
-        let mut csv = StreamingCsvWriter::new(BufWriter::new(csv_file))
+        let mut csv = StreamingCsvWriter::new(&mut csv_out)
             .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
         for cell in CellMerge::new(streams) {
             let cell = cell.map_err(|err| format!("streamed merge failed: {err}"))?;
@@ -269,16 +458,9 @@ fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
             json.finish().map_err(|err| format!("cannot finish {}: {err}", json_path.display()))?;
         csv.finish().map_err(|err| format!("cannot finish {}: {err}", csv_path.display()))?;
         Ok(totals)
-    })();
-    let totals = match result {
-        Ok(totals) => totals,
-        Err(message) => {
-            // Never leave a half-written artifact behind a failed merge.
-            let _ = std::fs::remove_file(&json_path);
-            let _ = std::fs::remove_file(&csv_path);
-            return Err(message);
-        }
-    };
+    })()?;
+    json_out.persist().map_err(|err| format!("cannot publish {}: {err}", json_path.display()))?;
+    csv_out.persist().map_err(|err| format!("cannot publish {}: {err}", csv_path.display()))?;
     println!("merged {} shard stream(s): {totals}", args.files.len());
     println!("exported {} and {}", json_path.display(), csv_path.display());
     Ok(())
@@ -310,11 +492,12 @@ fn main() -> ExitCode {
     }
     let result = match subcommand.as_str() {
         "run" => run(&args).map(|()| false),
+        "resume" => resume(&args).map(|()| false),
         "bench" => bench(&args).map(|()| false),
         "merge" => merge(&args).map(|()| false),
         "diff" => diff(&args),
         other => Err(format!(
-            "unknown subcommand {other:?}; usage: campaign_ctl <run|bench|merge|diff> \
+            "unknown subcommand {other:?}; usage: campaign_ctl <run|resume|bench|merge|diff> \
              [--smoke] [--stream] [--shard I/K] [--threads N] [--out DIR] \
              [report.json|report.jsonl ...]"
         )),

@@ -12,6 +12,11 @@
 //! * `--out DIR` — output directory for exported artifacts,
 //! * `--smoke` — the small CI grid instead of the full sweep,
 //! * `--stream` — streamed export/merge (constant memory; see `campaign_ctl`).
+//!
+//! The vocabulary is deliberately shared across subcommands: `campaign_ctl resume`
+//! takes the *same* `--smoke`/`--shard`/`--threads`/`--out` flags as the interrupted
+//! `run --stream` it finishes, so an operator (or the future coordinator daemon)
+//! replays the original invocation with only the subcommand swapped.
 
 use bsm_engine::{Executor, ShardPlan};
 use std::fmt;

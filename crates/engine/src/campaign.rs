@@ -41,6 +41,21 @@ impl Campaign {
         &self.specs
     }
 
+    /// The sub-campaign holding an explicit contiguous slice of the work list.
+    ///
+    /// This is the resumption primitive: a crash-interrupted shard salvages its
+    /// exported cell prefix, computes the un-run tail of its range with
+    /// [`ShardPlan::remainder`], and re-runs only `campaign.slice(remainder)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is out of bounds for the work list (like slice indexing);
+    /// ranges produced by [`ShardPlan::range`]/[`ShardPlan::remainder`] for this
+    /// campaign's length are always in bounds.
+    pub fn slice(&self, range: Range<usize>) -> Campaign {
+        Campaign { specs: self.specs[range].to_vec() }
+    }
+
     /// The sub-campaign holding this shard's contiguous slice of the work list.
     ///
     /// Every process of a distributed run expands the same campaign (deterministic, no
@@ -369,6 +384,24 @@ mod tests {
         let explicit = CampaignBuilder::new().shard(None).build();
         assert_eq!(whole, explicit);
         assert_eq!(whole, CampaignBuilder::new().shard(ShardPlan::WHOLE).build());
+    }
+
+    #[test]
+    fn slice_agrees_with_the_shard_ranges() {
+        let campaign = CampaignBuilder::new().sizes([2, 3, 4]).seeds(0..2).build();
+        for count in [1usize, 2, 3, 5] {
+            for index in 0..count {
+                let plan = ShardPlan::new(index, count).unwrap();
+                let range = plan.range(campaign.len());
+                assert_eq!(
+                    campaign.slice(range).specs(),
+                    campaign.shard(plan).specs(),
+                    "slice of {plan}'s range diverged from the shard"
+                );
+            }
+        }
+        assert!(campaign.slice(0..0).is_empty());
+        assert_eq!(campaign.slice(0..campaign.len()), campaign);
     }
 
     #[test]

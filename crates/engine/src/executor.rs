@@ -207,6 +207,34 @@ impl Executor {
         self.run_streaming(&campaign.shard(plan), sink)
     }
 
+    /// Runs an explicit contiguous sub-range of `campaign`'s canonical work list in
+    /// streaming mode: [`run_streaming`] over [`Campaign::slice`].
+    ///
+    /// This is the resumption entry point: `campaign_ctl resume` salvages the cell
+    /// prefix a crashed shard already exported, computes the un-run tail of the
+    /// shard's range with [`ShardPlan::remainder`], and re-runs exactly that range —
+    /// the emitted cells splice after the salvaged prefix into the sequence an
+    /// uninterrupted [`run_shard_streaming`](Self::run_shard_streaming) would emit.
+    ///
+    /// [`run_streaming`]: Self::run_streaming
+    ///
+    /// # Errors
+    ///
+    /// The first error the sink returns, as in [`run_streaming`](Self::run_streaming).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `range` is out of bounds for the work list (see
+    /// [`Campaign::slice`]).
+    pub fn run_range_streaming<E>(
+        &self,
+        campaign: &Campaign,
+        range: std::ops::Range<usize>,
+        sink: impl FnMut(CellRecord) -> Result<(), E>,
+    ) -> Result<(Totals, ExecutionStats), E> {
+        self.run_streaming(&campaign.slice(range), sink)
+    }
+
     /// Applies `f` to every item on the worker pool, returning the results **in input
     /// order** (a deterministic parallel map).
     ///
@@ -403,6 +431,38 @@ mod tests {
         }
         assert_eq!(rejoined, whole.cells());
         assert_eq!(summed, whole.totals());
+    }
+
+    #[test]
+    fn range_runs_splice_into_the_uninterrupted_shard_sequence() {
+        let campaign = CampaignBuilder::new().sizes([2, 3]).seeds(0..2).build();
+        let executor = Executor::new().threads(2);
+        let plan = ShardPlan::new(1, 3).unwrap();
+        let mut uninterrupted = Vec::new();
+        executor
+            .run_shard_streaming(&campaign, plan, |cell| {
+                uninterrupted.push(cell);
+                Ok::<(), std::convert::Infallible>(())
+            })
+            .unwrap();
+        // Pretend the first `done` cells survived a crash; re-run only the tail.
+        for done in 0..=uninterrupted.len() {
+            let remainder = plan.remainder(campaign.len(), done);
+            let mut spliced = uninterrupted[..done].to_vec();
+            let (totals, stats) = executor
+                .run_range_streaming(&campaign, remainder, |cell| {
+                    spliced.push(cell);
+                    Ok::<(), std::convert::Infallible>(())
+                })
+                .unwrap();
+            assert_eq!(spliced, uninterrupted, "splice after {done} cells diverged");
+            assert_eq!(stats.scenarios, uninterrupted.len() - done);
+            let mut tail_totals = Totals::default();
+            for cell in &uninterrupted[done..] {
+                tail_totals.record(&cell.outcome);
+            }
+            assert_eq!(totals, tail_totals);
+        }
     }
 
     #[test]

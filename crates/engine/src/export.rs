@@ -25,12 +25,27 @@
 //! strictly increasing [`ScenarioSpec`] order, which is what makes the streamed merge
 //! byte-identical to the in-memory [`CampaignReport::merge`] path.
 //!
+//! # Crash-safe artifact writes
+//!
+//! Final artifacts (`report.json`, `report.csv`, `BENCH_engine.json`) must never be
+//! observable half-written: a crashed process that leaves a truncated file at a
+//! tracked path poisons every later `merge`/`diff`/`cmp` that globs it. [`AtomicFile`]
+//! and [`atomic_write`] write to a sibling `<name>.tmp` file and atomically rename it
+//! over the destination only on success — a crash at any instant leaves either the
+//! old artifact or no artifact, never a truncated one. (The deliberately *incremental*
+//! streamed `report.jsonl` is the one exception: it is written at a `.partial` path
+//! and renamed into place when complete, so an interrupted stream is salvageable by
+//! [`crate::import::StreamingCells::salvage`] instead of being mistaken for a finished
+//! export.)
+//!
 //! [`CampaignReport::merge`]: crate::report::CampaignReport::merge
 
 use crate::grid::ScenarioSpec;
 use crate::report::{CampaignReport, CellOutcome, CellRecord, Totals};
 use std::fmt::Write as _;
-use std::io::Write;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
 
 /// Escapes a string for inclusion in a JSON document (quotes, backslashes, control
 /// characters; non-ASCII passes through as UTF-8).
@@ -466,6 +481,111 @@ impl<W: Write> StreamingCsvWriter<W> {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Crash-safe artifact writes (temp file + atomic rename)
+// ---------------------------------------------------------------------------
+
+/// The sibling temp path `AtomicFile` stages its bytes at: `<dest>.tmp` in the same
+/// directory (same filesystem, so the final `rename` is atomic).
+fn staging_path(dest: &Path) -> PathBuf {
+    let mut name = dest.file_name().map_or_else(std::ffi::OsString::new, |n| n.to_os_string());
+    name.push(".tmp");
+    dest.with_file_name(name)
+}
+
+/// A crash-safe file writer: bytes go to a sibling `<dest>.tmp` file, and only
+/// [`persist`](Self::persist) moves them to the destination — with an atomic rename,
+/// after a flush and fsync.
+///
+/// A process that crashes (or errors out) mid-write therefore never leaves a
+/// truncated file at the tracked destination path: dropping an unpersisted
+/// `AtomicFile` removes the temp file, and a hard kill leaves only `<dest>.tmp`,
+/// which the next writer truncates and reuses. This is the write discipline behind
+/// every final campaign artifact (`report.json`, `report.csv`, `BENCH_engine.json`);
+/// see [`atomic_write`] for the one-shot convenience form.
+///
+/// The writer is buffered internally; wrap a `&mut AtomicFile` in a streaming writer
+/// (e.g. [`StreamingCsvWriter`]) and call [`persist`](Self::persist) after the
+/// writer's `finish`.
+#[derive(Debug)]
+pub struct AtomicFile {
+    /// `None` once persisted (disarms the Drop cleanup).
+    writer: Option<BufWriter<File>>,
+    staging: PathBuf,
+    dest: PathBuf,
+}
+
+impl AtomicFile {
+    /// Creates (truncating any stale leftover) the staging file for `dest`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] creating `<dest>.tmp`.
+    pub fn create(dest: impl Into<PathBuf>) -> std::io::Result<Self> {
+        let dest = dest.into();
+        let staging = staging_path(&dest);
+        let file = File::create(&staging)?;
+        Ok(Self { writer: Some(BufWriter::new(file)), staging, dest })
+    }
+
+    /// The destination path the staged bytes will land at.
+    pub fn dest(&self) -> &Path {
+        &self.dest
+    }
+
+    /// Flushes, fsyncs and atomically renames the staged file to the destination.
+    ///
+    /// # Errors
+    ///
+    /// Any [`std::io::Error`] from the flush, sync or rename; the staging file is
+    /// removed on failure, so no partial artifact survives either way.
+    pub fn persist(mut self) -> std::io::Result<()> {
+        let writer = self.writer.take().expect("persist is the only taker and consumes self");
+        let result = (|| {
+            let file = writer.into_inner().map_err(|err| err.into_error())?;
+            file.sync_all()?;
+            std::fs::rename(&self.staging, &self.dest)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&self.staging);
+        }
+        result
+    }
+}
+
+impl Write for AtomicFile {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.writer.as_mut().expect("writer present until persist").write(buf)
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.writer.as_mut().expect("writer present until persist").flush()
+    }
+}
+
+impl Drop for AtomicFile {
+    /// Removes the staging file when the writer was dropped without
+    /// [`persist`](Self::persist) — an error path never leaves debris behind.
+    fn drop(&mut self) {
+        if self.writer.take().is_some() {
+            let _ = std::fs::remove_file(&self.staging);
+        }
+    }
+}
+
+/// Writes `contents` to `dest` crash-safely: staged at `<dest>.tmp`, fsynced, then
+/// atomically renamed into place. The one-shot form of [`AtomicFile`].
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] from the write, sync or rename; on failure neither a
+/// truncated `dest` nor a leftover temp file remains.
+pub fn atomic_write(dest: impl Into<PathBuf>, contents: impl AsRef<[u8]>) -> std::io::Result<()> {
+    let mut file = AtomicFile::create(dest)?;
+    file.write_all(contents.as_ref())?;
+    file.persist()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -649,5 +769,56 @@ mod tests {
         }
         writer.finish().unwrap();
         assert_eq!(String::from_utf8(buf).unwrap(), to_csv(&report));
+    }
+
+    /// A scratch directory unique to the calling test (under the OS temp dir, so
+    /// parallel test binaries never collide on relative paths).
+    fn scratch_dir(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("bsm-engine-export-tests").join(test);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn atomic_write_lands_the_bytes_and_no_temp_file() {
+        let dir = scratch_dir("atomic_write_lands");
+        let dest = dir.join("report.json");
+        atomic_write(&dest, "first").unwrap();
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "first");
+        // Overwrite is atomic too: the old artifact is replaced, never truncated.
+        atomic_write(&dest, "second").unwrap();
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), "second");
+        assert!(!staging_path(&dest).exists(), "staging file must not survive persist");
+    }
+
+    #[test]
+    fn unpersisted_atomic_file_leaves_neither_dest_nor_temp() {
+        let dir = scratch_dir("atomic_drop_cleans");
+        let dest = dir.join("report.csv");
+        {
+            let mut file = AtomicFile::create(&dest).unwrap();
+            assert_eq!(file.dest(), dest.as_path());
+            file.write_all(b"half a row").unwrap();
+            file.flush().unwrap();
+            assert!(staging_path(&dest).exists(), "bytes are staged before persist");
+            // Dropped here without persist — simulates the error path of a writer.
+        }
+        assert!(!dest.exists(), "an unpersisted write must not create the destination");
+        assert!(!staging_path(&dest).exists(), "drop must remove the staging file");
+    }
+
+    #[test]
+    fn atomic_file_backs_the_streaming_writers() {
+        let report = small_report();
+        let dir = scratch_dir("atomic_streaming_csv");
+        let dest = dir.join("report.csv");
+        let mut file = AtomicFile::create(&dest).unwrap();
+        let mut writer = StreamingCsvWriter::new(&mut file).unwrap();
+        for cell in report.cells() {
+            writer.write_cell(cell).unwrap();
+        }
+        writer.finish().unwrap();
+        file.persist().unwrap();
+        assert_eq!(std::fs::read_to_string(&dest).unwrap(), to_csv(&report));
     }
 }

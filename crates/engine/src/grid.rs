@@ -183,6 +183,18 @@ impl ShardPlan {
         let len = base + usize::from(self.index < extra);
         start..start + len
     }
+
+    /// The un-run tail of this shard's [`range`](Self::range) after its first `done`
+    /// cells completed — the range a crash-interrupted shard must still execute.
+    ///
+    /// Because shard exports stream cells in canonical order, a salvaged prefix of
+    /// `done` cells is exactly the first `done` cells of the shard's range, so the
+    /// remainder is the rest of it. `done` past the end of the range yields the empty
+    /// range at its end (an already-complete shard has nothing left to run).
+    pub fn remainder(&self, total: usize, done: usize) -> Range<usize> {
+        let range = self.range(total);
+        range.start.saturating_add(done).min(range.end)..range.end
+    }
 }
 
 impl FromStr for ShardPlan {
@@ -282,6 +294,28 @@ mod tests {
                 assert_eq!(next, total, "shards of {count} do not cover {total}");
                 let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
                 assert!(max - min <= 1, "unbalanced split of {total} into {count}: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn remainder_is_the_unrun_tail_of_the_shard_range() {
+        for count in 1..=5usize {
+            for total in [0usize, 1, 7, 72] {
+                for index in 0..count {
+                    let plan = ShardPlan::new(index, count).unwrap();
+                    let range = plan.range(total);
+                    assert_eq!(plan.remainder(total, 0), range, "0 done = the whole range");
+                    for done in 0..=range.len() {
+                        let rest = plan.remainder(total, done);
+                        assert_eq!(rest.start, range.start + done);
+                        assert_eq!(rest.end, range.end);
+                    }
+                    // Past-the-end salvage counts clamp to the empty tail.
+                    let over = plan.remainder(total, range.len() + 3);
+                    assert_eq!(over, range.end..range.end);
+                    assert_eq!(plan.remainder(total, usize::MAX), range.end..range.end);
+                }
             }
         }
     }

@@ -23,6 +23,18 @@
 //! verified against the cells actually yielded, and [`footer_totals`] reads just that
 //! footer (one O(1)-memory pass) so a merge coordinator can pre-compute the merged
 //! totals before streaming a single cell.
+//!
+//! # Crash salvage
+//!
+//! A shard process that dies mid-run leaves a truncated, footerless `report.jsonl`
+//! behind. The strict reader above can only *reject* such a stream; the salvage read
+//! mode — [`StreamingCells::salvage`], returning a [`SalvagedPrefix`] — instead stops
+//! cleanly at the first broken line and recovers everything before it: the valid
+//! ordered cell prefix, its folded [`Totals`] and the last-good coordinate. This is
+//! the read path crash recovery is built on: `campaign_ctl resume` salvages the
+//! prefix, re-runs only the missing tail of the shard's canonical range, and splices
+//! the two back into a complete footered export byte-identical to an uninterrupted
+//! run.
 
 use crate::grid::ScenarioSpec;
 use crate::report::{CampaignReport, CellOutcome, CellRecord, CellStats, Totals};
@@ -170,7 +182,16 @@ impl<'a> Parser<'a> {
         }
         loop {
             self.skip_whitespace();
+            let key_offset = self.pos;
             let key = self.parse_string()?;
+            // Duplicate keys are well-formed JSON but the writer never emits them, and
+            // silently keeping the first match would let `"seed": 0, "seed": 5`
+            // import as 0 — reject them with the offending position instead.
+            if fields.iter().any(|(existing, _)| *existing == key) {
+                return Err(ImportError::Schema(format!(
+                    "duplicate object key {key:?} at byte {key_offset}"
+                )));
+            }
             self.skip_whitespace();
             self.expect(b':')?;
             let value = self.parse_value()?;
@@ -229,6 +250,14 @@ impl<'a> Parser<'a> {
         }
         let digits =
             std::str::from_utf8(&self.bytes[start..self.pos]).expect("digit range is ASCII");
+        // The writer renders integers canonically, so `007` is something the writer
+        // cannot produce — reject it rather than silently normalizing to 7.
+        if digits.len() > 1 && digits.starts_with('0') {
+            return Err(ImportError::Syntax {
+                offset: start,
+                message: format!("non-canonical integer with leading zeros: {digits}"),
+            });
+        }
         digits
             .parse::<u64>()
             .map(Value::Number)
@@ -496,6 +525,7 @@ pub fn from_json(json: &str) -> Result<CampaignReport, ImportError> {
 // ---------------------------------------------------------------------------
 
 /// What a parsed stream line turned out to be.
+#[derive(Debug)]
 enum StreamLine {
     Cell(CellRecord),
     Footer(Totals),
@@ -671,6 +701,70 @@ impl<R: BufRead> Iterator for StreamingCells<R> {
                 Some(Ok(record))
             }
         }
+    }
+}
+
+/// The salvageable prefix of a (possibly truncated) streamed shard export — what
+/// [`StreamingCells::salvage`] recovers from a crashed run's `report.jsonl`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvagedPrefix {
+    /// The valid cells before the first break, in canonical coordinate order.
+    pub cells: Vec<CellRecord>,
+    /// The totals folded from `cells` (*not* a footer claim — recomputed).
+    pub totals: Totals,
+    /// `true` when the stream ended with a verified footer: nothing was lost and
+    /// `cells` is the complete export.
+    pub complete: bool,
+    /// Why salvage stopped before a verified footer (`None` when `complete`): the
+    /// stream-contract violation at the first broken line, e.g. a cut-off cell, a
+    /// missing footer, or a footer disagreeing with the cells.
+    pub truncation: Option<String>,
+}
+
+impl SalvagedPrefix {
+    /// The coordinates of the last salvaged cell — the resumption point. `None` when
+    /// nothing was salvageable.
+    pub fn last_coordinate(&self) -> Option<ScenarioSpec> {
+        self.cells.last().map(|cell| cell.spec)
+    }
+}
+
+impl<R: BufRead> StreamingCells<R> {
+    /// Salvages the valid cell prefix of a (possibly truncated) streamed export.
+    ///
+    /// Where the strict iterator yields an error at the first broken line, salvage
+    /// *stops cleanly* there instead: every cell before the break is returned, with
+    /// its folded [`Totals`] and the last-good coordinate, and the break itself is
+    /// recorded in [`SalvagedPrefix::truncation`]. An intact stream (footer present
+    /// and verified) salvages completely: `complete` is `true` and `cells` is the
+    /// whole export.
+    ///
+    /// Note that salvage trusts each *line*, not the stream: a stream whose middle
+    /// was damaged (rather than its tail cut off) still salvages every parseable,
+    /// in-order cell before the damage — callers resuming a run must verify the
+    /// prefix against the canonical work list, which `campaign_ctl resume` does.
+    ///
+    /// # Errors
+    ///
+    /// Only [`ImportError::Io`]: a failing *reader* is an environment problem, not a
+    /// truncated document, and salvaging a prefix of unknown completeness from it
+    /// could silently lose cells.
+    pub fn salvage(reader: R) -> Result<SalvagedPrefix, ImportError> {
+        let mut stream = StreamingCells::new(reader);
+        let mut cells = Vec::new();
+        let mut truncation = None;
+        for item in &mut stream {
+            match item {
+                Ok(cell) => cells.push(cell),
+                Err(err @ ImportError::Io(_)) => return Err(err),
+                Err(err) => {
+                    truncation = Some(err.to_string());
+                    break;
+                }
+            }
+        }
+        let complete = stream.finished();
+        Ok(SalvagedPrefix { totals: stream.totals(), complete, cells, truncation })
     }
 }
 
@@ -900,18 +994,133 @@ mod tests {
 
     #[test]
     fn empty_shard_stream_is_just_a_zero_footer() {
-        let exporter = StreamingExporter::new(Vec::new());
-        let totals = exporter.totals();
         let mut buf = Vec::new();
         let exporter = StreamingExporter::new(&mut buf);
+        assert_eq!(exporter.totals(), Totals::default());
         exporter.finish().unwrap();
-        assert_eq!(totals, Totals::default());
         let mut stream = StreamingCells::new(&buf[..]);
         assert!(stream.next().is_none());
         assert!(stream.finished());
         assert_eq!(stream.totals(), Totals::default());
         assert_eq!(footer_totals(&buf[..]).unwrap(), Totals::default());
         assert!(from_jsonl(&buf[..]).unwrap().cells().is_empty());
+    }
+
+    #[test]
+    fn duplicate_object_keys_are_rejected_with_the_position() {
+        let err = from_json("{\"totals\": {}, \"totals\": {}}").unwrap_err();
+        assert!(matches!(err, ImportError::Schema(_)), "{err}");
+        assert!(err.to_string().contains("duplicate object key \"totals\""), "{err}");
+        assert!(err.to_string().contains("at byte 15"), "{err}");
+        // The motivating case: `"seed": 0, "seed": 5` must not import as seed 0.
+        let (_, text) = streamed_report();
+        let first = text.lines().next().unwrap();
+        let doctored = first.replacen("\"seed\": 0", "\"seed\": 0, \"seed\": 5", 1);
+        assert!(doctored.contains("\"seed\": 0, \"seed\": 5"), "{doctored}");
+        let err = parse_stream_line(&doctored).unwrap_err();
+        assert!(err.to_string().contains("duplicate object key \"seed\""), "{err}");
+    }
+
+    #[test]
+    fn non_canonical_integers_with_leading_zeros_are_rejected() {
+        let err = from_json("{\"totals\": {\"scenarios\": 007}}").unwrap_err();
+        assert!(matches!(err, ImportError::Syntax { .. }), "{err}");
+        assert!(err.to_string().contains("leading zeros"), "{err}");
+        for bad in ["00", "01", "0007"] {
+            let doc = format!("{{\"a\": {bad}}}");
+            assert!(from_json(&doc).is_err(), "{bad} should not parse");
+        }
+        // A lone zero is the canonical rendering and still parses.
+        let mut parser = Parser::new("0");
+        assert_eq!(parser.parse_number().unwrap(), Value::Number(0));
+    }
+
+    #[test]
+    fn salvage_of_an_intact_stream_is_complete() {
+        let (report, text) = streamed_report();
+        let salvaged = StreamingCells::salvage(text.as_bytes()).unwrap();
+        assert!(salvaged.complete);
+        assert_eq!(salvaged.truncation, None);
+        assert_eq!(salvaged.cells, report.cells());
+        assert_eq!(salvaged.totals, report.totals());
+        assert_eq!(salvaged.last_coordinate(), Some(report.cells().last().unwrap().spec));
+    }
+
+    #[test]
+    fn salvage_stops_cleanly_at_a_mid_line_truncation() {
+        let (report, text) = streamed_report();
+        // Cut in the middle of the third cell line: two whole cells survive.
+        let offset = text.match_indices('\n').nth(1).unwrap().0 + 10;
+        let salvaged = StreamingCells::salvage(&text.as_bytes()[..offset]).unwrap();
+        assert!(!salvaged.complete);
+        assert_eq!(salvaged.cells, &report.cells()[..2]);
+        assert_eq!(salvaged.last_coordinate(), Some(report.cells()[1].spec));
+        let mut expected = Totals::default();
+        for cell in &report.cells()[..2] {
+            expected.record(&cell.outcome);
+        }
+        assert_eq!(salvaged.totals, expected);
+        assert!(salvaged.truncation.unwrap().contains("line 3"));
+    }
+
+    #[test]
+    fn salvage_at_a_cell_boundary_keeps_every_whole_cell() {
+        let (report, text) = streamed_report();
+        // Cut exactly after the fourth cell line (a clean line boundary, no footer).
+        let offset = text.match_indices('\n').nth(3).unwrap().0 + 1;
+        let salvaged = StreamingCells::salvage(&text.as_bytes()[..offset]).unwrap();
+        assert!(!salvaged.complete);
+        assert_eq!(salvaged.cells, &report.cells()[..4]);
+        assert!(salvaged.truncation.unwrap().contains("without a totals footer"));
+    }
+
+    #[test]
+    fn salvage_of_a_footerless_stream_keeps_all_cells() {
+        let (report, text) = streamed_report();
+        let footer_start = text.rfind("{\"totals\"").unwrap();
+        let salvaged = StreamingCells::salvage(&text.as_bytes()[..footer_start]).unwrap();
+        assert!(!salvaged.complete);
+        assert_eq!(salvaged.cells, report.cells());
+        assert_eq!(salvaged.totals, report.totals());
+        assert!(salvaged.truncation.unwrap().contains("without a totals footer"));
+    }
+
+    #[test]
+    fn salvage_cut_exactly_at_the_footer_line_recovers_everything_but_completeness() {
+        let (report, text) = streamed_report();
+        // The whole footer line is present but its newline is cut off — still a
+        // parseable, verifiable footer, so salvage is complete.
+        let salvaged = StreamingCells::salvage(text.trim_end().as_bytes()).unwrap();
+        assert!(salvaged.complete);
+        assert_eq!(salvaged.cells, report.cells());
+        // Cut *inside* the footer line: all cells survive, completeness is lost.
+        let footer_start = text.rfind("{\"totals\"").unwrap();
+        let salvaged = StreamingCells::salvage(&text.as_bytes()[..footer_start + 12]).unwrap();
+        assert!(!salvaged.complete);
+        assert_eq!(salvaged.cells, report.cells());
+        assert_eq!(salvaged.totals, report.totals());
+    }
+
+    #[test]
+    fn salvage_of_an_empty_stream_is_an_empty_incomplete_prefix() {
+        let salvaged = StreamingCells::salvage(&b""[..]).unwrap();
+        assert!(!salvaged.complete);
+        assert!(salvaged.cells.is_empty());
+        assert_eq!(salvaged.totals, Totals::default());
+        assert_eq!(salvaged.last_coordinate(), None);
+    }
+
+    #[test]
+    fn salvage_surfaces_reader_io_errors_instead_of_guessing() {
+        struct FailingReader;
+        impl std::io::Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk on fire"))
+            }
+        }
+        let reader = std::io::BufReader::new(FailingReader);
+        let err = StreamingCells::salvage(reader).unwrap_err();
+        assert!(matches!(err, ImportError::Io(_)), "{err}");
     }
 
     /// Property-style round-trip: every outcome shape with adversarial strings (JSON

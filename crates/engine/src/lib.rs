@@ -94,6 +94,17 @@
 //! assert_eq!(String::from_utf8(out).unwrap(), bsm_engine::to_json(&whole));
 //! ```
 //!
+//! # Crash recovery
+//!
+//! A shard that dies mid-stream leaves a truncated JSONL export behind.
+//! [`StreamingCells::salvage`] reads back its valid ordered cell prefix (stopping
+//! cleanly at the first broken or missing line instead of erroring), and
+//! [`Executor::run_range_streaming`] re-runs exactly the un-run tail of the shard's
+//! range — [`ShardPlan::remainder`] computes it — so the salvaged prefix plus the
+//! fresh cells splice into an export byte-identical to an uninterrupted run. Final
+//! artifacts are published with [`AtomicFile`] / [`atomic_write`] (temp file +
+//! atomic rename), so a crash can never leave a truncated file at a tracked path.
+//!
 //! # Quickstart
 //!
 //! ```rust
@@ -130,11 +141,13 @@ pub use campaign::{Campaign, CampaignBuilder};
 pub use diff::{CampaignDiff, CellDiff};
 pub use executor::{Executor, THREADS_ENV};
 pub use export::{
-    cell_json, csv_row, to_csv, to_json, totals_json, MergedJsonWriter, StreamError,
-    StreamingCsvWriter, StreamingExporter,
+    atomic_write, cell_json, csv_row, to_csv, to_json, totals_json, AtomicFile, MergedJsonWriter,
+    StreamError, StreamingCsvWriter, StreamingExporter,
 };
 pub use grid::{ScenarioSpec, ShardPlan, ShardPlanError};
-pub use import::{footer_totals, from_json, from_jsonl, ImportError, StreamingCells};
+pub use import::{
+    footer_totals, from_json, from_jsonl, ImportError, SalvagedPrefix, StreamingCells,
+};
 pub use progress::Progress;
 pub use report::{
     CampaignReport, CellMerge, CellMergeError, CellOutcome, CellRecord, CellStats, ExecutionStats,
