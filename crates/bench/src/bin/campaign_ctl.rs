@@ -56,6 +56,23 @@
 //! All final artifacts (`report.json`, `report.csv`, `BENCH_engine.json`) are
 //! published through a temp-file + atomic-rename, so a crash at any instant can
 //! never leave a truncated file at a tracked path.
+//!
+//! # Telemetry (`--metrics`, `stats`)
+//!
+//! `run --metrics` (in-memory or `--stream`) writes a `metrics.jsonl` sidecar next
+//! to the report artifacts: one coordinate-sorted JSON line per cell carrying the
+//! cell's attributed crypto-counter delta, message accounting, per-role fan-out and
+//! wall time. The sidecar is strictly a side channel — every report artifact is
+//! byte-identical with and without it. Independently of `--metrics`, every streamed
+//! run heartbeats `progress.json` in its out-dir (done/total, rate, last
+//! coordinate, counter delta) every few cells through an atomic rename — the
+//! liveness signal the future coordinator daemon polls for dead shards. `stats`
+//! aggregates a sidecar into quantiles, top-N cells and per-axis rollups:
+//!
+//! ```sh
+//! campaign_ctl run --smoke --stream --metrics --shard 1/3 --out shards/1
+//! campaign_ctl stats shards/1     # p50/p90/p99, top cells, rollups (+ heartbeat)
+//! ```
 
 use bsm_bench::cli::BenchArgs;
 use bsm_core::harness::AdversarySpec;
@@ -64,9 +81,12 @@ use bsm_engine::export::{
     StreamingExporter,
 };
 use bsm_engine::import::{footer_totals, from_json, from_jsonl, StreamingCells};
+use bsm_engine::telemetry::{
+    parse_progress, CampaignStats, CellTelemetry, Heartbeat, TelemetryExporter, HEARTBEAT_EVERY,
+};
 use bsm_engine::{
     Campaign, CampaignBuilder, CampaignDiff, CampaignReport, CellMerge, Executor, Progress,
-    ShardPlan, Totals,
+    ShardPlan, StreamError, Totals,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -126,6 +146,24 @@ fn import_report(path: &str) -> Result<CampaignReport, String> {
     })
 }
 
+/// Writes the `metrics.jsonl` telemetry sidecar for an in-memory run under `dir`
+/// (atomically, like every other artifact).
+fn export_metrics(telemetry: &[CellTelemetry], dir: &Path) -> Result<(), String> {
+    let path = dir.join("metrics.jsonl");
+    let mut out = AtomicFile::create(&path)
+        .map_err(|err| format!("cannot write {}: {err}", path.display()))?;
+    let mut exporter = TelemetryExporter::new(&mut out);
+    for cell in telemetry {
+        exporter
+            .write_cell(cell)
+            .map_err(|err| format!("cannot write telemetry to {}: {err}", path.display()))?;
+    }
+    exporter.finish().map_err(|err| format!("cannot finish {}: {err}", path.display()))?;
+    out.persist().map_err(|err| format!("cannot publish {}: {err}", path.display()))?;
+    println!("exported {}", path.display());
+    Ok(())
+}
+
 /// Removes a stale artifact left by an earlier run, tolerating its absence.
 fn remove_stale(path: &Path) -> Result<(), String> {
     match std::fs::remove_file(path) {
@@ -157,13 +195,23 @@ fn run(args: &BenchArgs) -> Result<(), String> {
     if args.stream {
         return run_streamed(args, &campaign, &executor);
     }
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
+    if args.metrics {
+        // The telemetry path builds the exact report the plain path builds (the
+        // records come from the same cell runner) — the sidecar is a pure addition.
+        let target = campaign.shard(args.shard.unwrap_or(ShardPlan::WHOLE));
+        let (report, telemetry, stats) = executor.run_telemetry(&target);
+        eprintln!("{stats}");
+        println!("totals: {}", report.totals());
+        export_report(&report, &out)?;
+        return export_metrics(&telemetry, &out);
+    }
     let (report, stats) = match args.shard {
         Some(plan) => executor.run_shard(&campaign, plan),
         None => executor.run(&campaign),
     };
     eprintln!("{stats}");
     println!("totals: {}", report.totals());
-    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
     export_report(&report, &out)
 }
 
@@ -176,7 +224,9 @@ fn run(args: &BenchArgs) -> Result<(), String> {
 /// Crash safety: the JSONL stream is written at `report.jsonl.partial` and renamed
 /// to `report.jsonl` only once footered, so a crash (or failure) at any instant
 /// leaves the completed cells salvageable for [`resume`] and never a truncated
-/// stream at the final path. The CSV goes through an [`AtomicFile`].
+/// stream at the final path. The CSV (and the `--metrics` sidecar) go through an
+/// [`AtomicFile`]. The `progress.json` heartbeat is the one artifact deliberately
+/// *left behind* on failure: its last atomic snapshot shows where the run died.
 fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> Result<(), String> {
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
     std::fs::create_dir_all(&out)
@@ -184,25 +234,46 @@ fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> R
     let path = out.join("report.jsonl");
     let partial_path = out.join("report.jsonl.partial");
     let csv_path = out.join("report.csv");
+    let metrics_path = out.join("metrics.jsonl");
     // A stale report.jsonl from an earlier run must not sit next to this run's
     // partial: an interrupted run would otherwise look complete to a later merge.
+    // Same for a stale sidecar, which this run may not regenerate.
     remove_stale(&path)?;
+    remove_stale(&metrics_path)?;
     let file = File::create(&partial_path)
         .map_err(|err| format!("cannot write {}: {err}", partial_path.display()))?;
     let mut jsonl = BufWriter::new(file);
     let mut csv_out = AtomicFile::create(&csv_path)
         .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
+    let mut metrics_out = match args.metrics {
+        true => Some(
+            AtomicFile::create(&metrics_path)
+                .map_err(|err| format!("cannot write {}: {err}", metrics_path.display()))?,
+        ),
+        false => None,
+    };
+    // Every streamed run heartbeats, --metrics or not: liveness is for operators
+    // and the future coordinator, not a per-cell data product.
+    let shard_len = args.shard.map_or(campaign.len(), |plan| plan.range(campaign.len()).len());
+    let mut heartbeat = Heartbeat::new(&out, shard_len, HEARTBEAT_EVERY)
+        .map_err(|err| format!("cannot write heartbeat in {}: {err}", out.display()))?;
     let result = (|| -> Result<(Totals, bsm_engine::ExecutionStats), String> {
         let mut exporter = StreamingExporter::new(&mut jsonl);
         let mut csv = StreamingCsvWriter::new(&mut csv_out)
             .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
-        let mut sink = |cell: bsm_engine::CellRecord| {
-            exporter.write_cell(&cell)?;
-            csv.write_cell(&cell)
-        };
+        let mut metrics = metrics_out.as_mut().map(TelemetryExporter::new);
+        let mut sink =
+            |cell: bsm_engine::CellRecord, telemetry: CellTelemetry| -> Result<(), StreamError> {
+                exporter.write_cell(&cell)?;
+                csv.write_cell(&cell)?;
+                if let Some(sidecar) = metrics.as_mut() {
+                    sidecar.write_cell(&telemetry)?;
+                }
+                heartbeat.tick(cell.spec).map_err(StreamError::from)
+            };
         let run = match args.shard {
-            Some(plan) => executor.run_shard_streaming(campaign, plan, &mut sink),
-            None => executor.run_streaming(campaign, &mut sink),
+            Some(plan) => executor.run_shard_streaming_telemetry(campaign, plan, &mut sink),
+            None => executor.run_streaming_telemetry(campaign, &mut sink),
         };
         let (totals, stats) = run.map_err(|err| {
             format!("streamed export to {} failed: {err}", partial_path.display())
@@ -211,14 +282,21 @@ fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> R
             .finish()
             .map_err(|err| format!("cannot finish {}: {err}", partial_path.display()))?;
         csv.finish().map_err(|err| format!("cannot finish {}: {err}", csv_path.display()))?;
+        if let Some(sidecar) = metrics {
+            sidecar
+                .finish()
+                .map_err(|err| format!("cannot finish {}: {err}", metrics_path.display()))?;
+        }
         Ok((totals, stats))
     })();
     let (totals, stats) = match result {
         Ok(finished) => finished,
         Err(message) => {
-            // Keep the salvageable prefix at report.jsonl.partial; the CSV staging
-            // file is discarded by the AtomicFile drop, leaving no partial CSV.
+            // Keep the salvageable prefix at report.jsonl.partial; the CSV and
+            // sidecar staging files are discarded by the AtomicFile drops, leaving
+            // no partial CSV or metrics.jsonl.
             drop(csv_out);
+            drop(metrics_out);
             return Err(format!(
                 "{message} (completed cells kept at {}; `campaign_ctl resume` with the \
                  same flags finishes the run)",
@@ -228,9 +306,20 @@ fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> R
     };
     publish_partial(jsonl, &partial_path, &path)?;
     csv_out.persist().map_err(|err| format!("cannot publish {}: {err}", csv_path.display()))?;
+    if let Some(staged) = metrics_out {
+        staged
+            .persist()
+            .map_err(|err| format!("cannot publish {}: {err}", metrics_path.display()))?;
+    }
+    heartbeat
+        .finish()
+        .map_err(|err| format!("cannot write heartbeat in {}: {err}", out.display()))?;
     eprintln!("{stats}");
     println!("totals: {totals}");
     println!("exported {} and {}", path.display(), csv_path.display());
+    if args.metrics {
+        println!("exported {}", metrics_path.display());
+    }
     Ok(())
 }
 
@@ -248,6 +337,15 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
     if !args.files.is_empty() {
         return Err("resume: file arguments are not supported (pass --out DIR of the \
              interrupted run, plus its --smoke/--shard flags)"
+            .into());
+    }
+    if args.metrics {
+        // Telemetry (counter deltas, wall times) is measured while a cell runs; it
+        // cannot be reconstructed for the cells salvaged from the interrupted
+        // export, so a resumed sidecar would silently cover only the fresh tail.
+        return Err("resume: --metrics is not supported (per-cell telemetry cannot be \
+             reconstructed for salvaged cells; re-run with `run --stream --metrics` \
+             for a complete sidecar)"
             .into());
     }
     let out = args.out.clone().ok_or_else(|| {
@@ -305,13 +403,20 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
     eprintln!("re-running {fresh} remaining cell(s) of shard {plan} of {campaign}");
     // Same crash-safe scheme as `run --stream`: the spliced stream goes to
     // report.jsonl.partial (truncating the source we already hold in memory) and is
-    // renamed into place only once footered.
+    // renamed into place only once footered. A stale sidecar from an earlier
+    // `--metrics` run is removed — resume cannot regenerate it (see above).
     remove_stale(&path)?;
+    remove_stale(&out.join("metrics.jsonl"))?;
     let jsonl_file = File::create(&partial_path)
         .map_err(|err| format!("cannot write {}: {err}", partial_path.display()))?;
     let mut jsonl = BufWriter::new(jsonl_file);
     let mut csv_out = AtomicFile::create(&csv_path)
         .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
+    // The heartbeat starts at the salvaged count, so a watcher sees the resumed
+    // shard continue from where the interrupted run's progress.json left off.
+    let mut heartbeat = Heartbeat::new(&out, shard.len(), HEARTBEAT_EVERY)
+        .and_then(|heartbeat| heartbeat.starting_at(done))
+        .map_err(|err| format!("cannot write heartbeat in {}: {err}", out.display()))?;
     let result = (|| -> Result<(Totals, bsm_engine::ExecutionStats), String> {
         let mut exporter = StreamingExporter::new(&mut jsonl);
         let mut csv = StreamingCsvWriter::new(&mut csv_out)
@@ -321,9 +426,10 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
                 format!("cannot replay the salvaged prefix into {}: {err}", partial_path.display())
             })?;
         }
-        let mut sink = |cell: bsm_engine::CellRecord| {
+        let mut sink = |cell: bsm_engine::CellRecord| -> Result<(), StreamError> {
             exporter.write_cell(&cell)?;
-            csv.write_cell(&cell)
+            csv.write_cell(&cell)?;
+            heartbeat.tick(cell.spec).map_err(StreamError::from)
         };
         let run = executor.run_range_streaming(&campaign, remainder, &mut sink);
         let (_, stats) = run.map_err(|err| {
@@ -348,6 +454,9 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
     };
     publish_partial(jsonl, &partial_path, &path)?;
     csv_out.persist().map_err(|err| format!("cannot publish {}: {err}", csv_path.display()))?;
+    heartbeat
+        .finish()
+        .map_err(|err| format!("cannot write heartbeat in {}: {err}", out.display()))?;
     eprintln!("{stats}");
     println!("totals: {totals}");
     println!("resumed: {done} salvaged + {fresh} fresh cell(s)");
@@ -365,9 +474,10 @@ fn bench(args: &BenchArgs) -> Result<(), String> {
     // The benchmark campaign is fixed by design (the snapshot is only comparable
     // across runs of the same grid); silently accepting run-flavored flags would
     // ship a mislabeled baseline with exit 0.
-    if args.shard.is_some() || args.stream || !args.files.is_empty() {
-        return Err("bench: --shard, --stream and file arguments are not supported \
-             (the benchmark campaign is fixed; use --smoke, --threads, --out)"
+    if args.shard.is_some() || args.stream || args.metrics || !args.files.is_empty() {
+        return Err("bench: --shard, --stream, --metrics and file arguments are not \
+             supported (the benchmark campaign is fixed and its snapshot already \
+             carries the counter deltas; use --smoke, --threads, --out)"
             .into());
     }
     let executor = args.executor().progress(Progress::Stderr { every: 250 });
@@ -399,6 +509,11 @@ fn bench(args: &BenchArgs) -> Result<(), String> {
 fn merge(args: &BenchArgs) -> Result<(), String> {
     if args.files.is_empty() {
         return Err("merge: no shard exports given (pass report.json paths)".into());
+    }
+    if args.metrics {
+        return Err("merge: --metrics is not supported (sidecars are per-run; run \
+             `campaign_ctl stats` on each shard's metrics.jsonl instead)"
+            .into());
     }
     if args.stream {
         return merge_streamed(args);
@@ -468,6 +583,11 @@ fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
 
 /// Returns `true` when the reports differ in any cell.
 fn diff(args: &BenchArgs) -> Result<bool, String> {
+    if args.metrics {
+        return Err("diff: --metrics is not supported (diff compares deterministic \
+             report cells; telemetry sidecars carry timing and are not diffable)"
+            .into());
+    }
     let [left, right] = args.files.as_slice() else {
         return Err(format!(
             "diff: expected exactly two report.json paths, got {}",
@@ -477,6 +597,51 @@ fn diff(args: &BenchArgs) -> Result<bool, String> {
     let diff = CampaignDiff::between(&import_report(left)?, &import_report(right)?);
     print!("{diff}");
     Ok(!diff.is_empty())
+}
+
+/// `stats`: aggregate a telemetry sidecar into quantiles, top cells and per-axis
+/// rollups.
+///
+/// Takes exactly one path — a `metrics.jsonl` file, or a campaign out-dir
+/// containing one. For a directory that also holds a `progress.json` heartbeat
+/// (any streamed run), the heartbeat snapshot is summarized first, so `stats` on
+/// a *running* shard's out-dir doubles as a liveness check. Aggregation streams
+/// the sidecar and validates schema and canonical coordinate order as it goes.
+fn stats(args: &BenchArgs) -> Result<(), String> {
+    let [target] = args.files.as_slice() else {
+        return Err(format!(
+            "stats: expected exactly one path (metrics.jsonl, or a campaign --out \
+             directory containing one), got {}",
+            args.files.len()
+        ));
+    };
+    let target = PathBuf::from(target);
+    let (metrics_path, progress_path) = if target.is_dir() {
+        (target.join("metrics.jsonl"), Some(target.join("progress.json")))
+    } else {
+        (target.clone(), None)
+    };
+    if let Some(progress_path) = progress_path.filter(|path| path.exists()) {
+        let text = std::fs::read_to_string(&progress_path)
+            .map_err(|err| format!("cannot read {}: {err}", progress_path.display()))?;
+        let progress = parse_progress(&text)
+            .map_err(|err| format!("cannot parse {}: {err}", progress_path.display()))?;
+        let last = progress.last.map_or_else(|| "none".to_string(), |spec| spec.to_string());
+        println!(
+            "heartbeat: {}/{} cell(s) at {:.1}/s over {:.3}s, last {last}",
+            progress.done, progress.total, progress.rate_per_sec, progress.wall_seconds
+        );
+    }
+    let file = File::open(&metrics_path).map_err(|err| {
+        format!(
+            "cannot read {}: {err} (produce a sidecar with `campaign_ctl run --metrics`)",
+            metrics_path.display()
+        )
+    })?;
+    let stats = CampaignStats::from_stream(BufReader::new(file))
+        .map_err(|err| format!("cannot aggregate {}: {err}", metrics_path.display()))?;
+    print!("{}", stats.render(5));
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -496,10 +661,12 @@ fn main() -> ExitCode {
         "bench" => bench(&args).map(|()| false),
         "merge" => merge(&args).map(|()| false),
         "diff" => diff(&args),
+        "stats" => stats(&args).map(|()| false),
         other => Err(format!(
-            "unknown subcommand {other:?}; usage: campaign_ctl <run|resume|bench|merge|diff> \
-             [--smoke] [--stream] [--shard I/K] [--threads N] [--out DIR] \
-             [report.json|report.jsonl ...]"
+            "unknown subcommand {other:?}; usage: campaign_ctl \
+             <run|resume|bench|merge|diff|stats> [--smoke] [--stream] [--metrics] \
+             [--shard I/K] [--threads N] [--out DIR] \
+             [report.json|report.jsonl|metrics.jsonl ...]"
         )),
     };
     match result {

@@ -11,7 +11,9 @@
 //! * `--shard I/K` — run only shard `I` of `K` of the campaign (1-based),
 //! * `--out DIR` — output directory for exported artifacts,
 //! * `--smoke` — the small CI grid instead of the full sweep,
-//! * `--stream` — streamed export/merge (constant memory; see `campaign_ctl`).
+//! * `--stream` — streamed export/merge (constant memory; see `campaign_ctl`),
+//! * `--metrics` — write the per-cell telemetry sidecar (`metrics.jsonl`) next to
+//!   the report artifacts; never changes a report byte (see `campaign_ctl stats`).
 //!
 //! The vocabulary is deliberately shared across subcommands: `campaign_ctl resume`
 //! takes the *same* `--smoke`/`--shard`/`--threads`/`--out` flags as the interrupted
@@ -42,6 +44,9 @@ pub struct BenchArgs {
     /// `true` when `--stream` was passed (streamed export/merge instead of the
     /// in-memory report path).
     pub stream: bool,
+    /// `true` when `--metrics` was passed (write the `metrics.jsonl` telemetry
+    /// sidecar alongside the report artifacts).
+    pub metrics: bool,
     /// Non-numeric positional arguments, in order (file paths for subcommands that
     /// consume exports, e.g. `campaign_ctl merge`/`diff`).
     pub files: Vec<String>,
@@ -60,6 +65,7 @@ impl Default for BenchArgs {
             out: None,
             smoke: false,
             stream: false,
+            metrics: false,
             files: Vec::new(),
             unknown: Vec::new(),
         }
@@ -106,6 +112,7 @@ impl BenchArgs {
                 },
                 "--smoke" => parsed.smoke = true,
                 "--stream" => parsed.stream = true,
+                "--metrics" => parsed.metrics = true,
                 other if other.starts_with("--") => parsed.unknown.push(other.to_string()),
                 other => match other.parse::<usize>() {
                     Ok(k) if parsed.k.is_none() => parsed.k = Some(k),
@@ -145,7 +152,8 @@ impl fmt::Display for BenchArgs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} stream={} files={}",
+            "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} stream={} metrics={} \
+             files={}",
             self.k,
             self.verify,
             self.threads,
@@ -153,6 +161,7 @@ impl fmt::Display for BenchArgs {
             self.shard.map_or_else(|| "none".to_string(), |p| p.to_string()),
             self.smoke,
             self.stream,
+            self.metrics,
             self.files.len()
         )
     }
@@ -202,6 +211,7 @@ mod tests {
             "target/shards",
             "--smoke",
             "--stream",
+            "--metrics",
             "a.json",
             "b.json",
         ]);
@@ -212,9 +222,12 @@ mod tests {
         assert!(parsed.stream);
         assert_eq!(parsed.files, vec!["a.json".to_string(), "b.json".to_string()]);
         assert!(parsed.unknown.is_empty());
+        assert!(parsed.metrics);
         assert!(parsed.to_string().contains("shard=2/3"));
         assert!(parsed.to_string().contains("stream=true"));
+        assert!(parsed.to_string().contains("metrics=true"));
         assert!(!args(&[]).stream, "--stream must be off by default");
+        assert!(!args(&[]).metrics, "--metrics must be off by default");
     }
 
     #[test]

@@ -398,6 +398,39 @@ mod tests {
         assert_eq!(receiver.output(), Some(u64::MAX), "the forged value must not be extracted");
     }
 
+    /// Pins down *when* the per-instance [`Verifier`] memo can fire at all — and that
+    /// its counter is wired through: a hit needs the same signature verified twice by
+    /// one party in one instance, which requires a rejected chain sharing a valid
+    /// prefix with a later chain for the same not-yet-extracted value. Honest
+    /// executions and the benchmark adversaries never produce that shape, which is
+    /// why `verify_cache_hits` is legitimately 0 in `BENCH_engine.json`.
+    #[test]
+    fn verifier_memo_fires_on_revalidated_chain_prefixes() {
+        let sender = PartyId::left(0);
+        let (pki, key_of, _participants, config) = setup(3, 1, sender);
+        let mut receiver = instance_for(&config, &pki, &key_of, PartyId::left(1), None);
+        let sender_key = pki.signing_key(key_of[&sender].0).unwrap();
+        let byz_key = pki.signing_key(key_of[&PartyId::left(2)].0).unwrap();
+        let value = 21u64;
+        let digest = DolevStrong::<u64>::instance_digest(&config, &value);
+        let good = sender_key.sign(digest);
+        // First chain: valid sender link, then a signature over the wrong digest. The
+        // prefix verifies (and is memoized) before the bad tail rejects the chain, so
+        // the value stays unextracted.
+        let wrong = DolevStrong::<u64>::instance_digest(&config, &99u64);
+        let broken = DolevStrongMsg { value, chain: vec![good, byz_key.sign(wrong)].into() };
+        // Second chain: the same valid prefix alone — its re-verification must be the
+        // memo hit.
+        let valid = DolevStrongMsg { value, chain: vec![good].into() };
+        receiver.round(0, &[]);
+        let before = bsm_crypto::counters::thread_snapshot();
+        receiver.round(1, &[(PartyId::left(2), broken), (PartyId::left(2), valid)]);
+        let delta = bsm_crypto::counters::thread_snapshot() - before;
+        assert!(delta.verify_cache_hits >= 1, "re-verified prefix must hit the memo: {delta:?}");
+        receiver.round(2, &[]);
+        assert_eq!(receiver.output(), Some(value), "the valid chain must still extract");
+    }
+
     #[test]
     fn chain_with_duplicate_signers_is_rejected() {
         let sender = PartyId::left(0);

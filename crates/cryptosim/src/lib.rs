@@ -41,5 +41,6 @@ mod pki;
 pub mod sha256;
 
 pub use chain::SigChain;
+pub use counters::CounterSnapshot;
 pub use digest::{Digest, DigestWriter, Digestible};
 pub use pki::{KeyId, Pki, Signature, SigningKey, Verifier, VerifyError, VERIFY_MEMO_CAP};

@@ -86,6 +86,17 @@ pub struct BenchSnapshot {
     /// Full signature verifications performed (process-counter delta).
     pub signatures_verified: u64,
     /// Verifications answered from a per-verifier memo (process-counter delta).
+    ///
+    /// **Expected to be 0 on this campaign** — genuinely, not from a wiring gap (the
+    /// memo and its counter are exercised by `crates/broadcast` tests): a
+    /// [`Verifier`](bsm_crypto::Verifier) memo is per-party-per-instance and only
+    /// remembers *successful* verifications, while Dolev-Strong skips every further
+    /// chain for a value it has already extracted before touching a signature. A hit
+    /// therefore needs two chains for the same **not-yet-extracted** value sharing a
+    /// valid prefix — i.e. a chain with a valid prefix and a broken tail, followed by
+    /// a valid chain — and none of the benchmark's adversaries forge such chains. The
+    /// key is kept in the snapshot as a tripwire: a nonzero value means the protocol
+    /// started re-verifying chains it used to skip.
     pub verify_cache_hits: u64,
     /// Digests computed (process-counter delta).
     pub digests_computed: u64,
@@ -133,10 +144,9 @@ impl BenchSnapshot {
 /// bench` does) for exact numbers.
 pub fn run(executor: &Executor, quick: bool) -> BenchSnapshot {
     let campaign = dolev_strong_campaign(quick);
-    let digests_before = bsm_crypto::counters::digests_computed();
-    let verified_before = bsm_crypto::counters::signatures_verified();
-    let hits_before = bsm_crypto::counters::verify_cache_hits();
+    let before = bsm_crypto::counters::snapshot();
     let (report, stats) = executor.run(&campaign);
+    let delta = bsm_crypto::counters::snapshot() - before;
     let totals = report.totals();
     BenchSnapshot {
         mode: if quick { "quick".into() } else { "full".into() },
@@ -146,9 +156,9 @@ pub fn run(executor: &Executor, quick: bool) -> BenchSnapshot {
         wall_seconds: stats.elapsed.as_secs_f64(),
         scenarios_per_sec: stats.throughput(),
         signatures_issued: totals.signatures,
-        signatures_verified: bsm_crypto::counters::signatures_verified() - verified_before,
-        verify_cache_hits: bsm_crypto::counters::verify_cache_hits() - hits_before,
-        digests_computed: bsm_crypto::counters::digests_computed() - digests_before,
+        signatures_verified: delta.signatures_verified,
+        verify_cache_hits: delta.verify_cache_hits,
+        digests_computed: delta.digests_computed,
         messages: totals.messages,
         slots: totals.slots,
         violations: totals.violations,

@@ -13,6 +13,7 @@ use crate::campaign::Campaign;
 use crate::grid::{ScenarioSpec, ShardPlan};
 use crate::progress::Progress;
 use crate::report::{CampaignReport, CellOutcome, CellRecord, CellStats, ExecutionStats, Totals};
+use crate::telemetry::CellTelemetry;
 use bsm_core::solvability::{characterize, Solvability};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -77,6 +78,31 @@ impl Executor {
         (CampaignReport::new(cells), stats)
     }
 
+    /// Runs every cell of `campaign` like [`run`](Self::run), additionally returning
+    /// one [`CellTelemetry`] per cell, index-aligned with
+    /// [`CampaignReport::cells`](crate::report::CampaignReport::cells).
+    ///
+    /// Telemetry is strictly a side channel: the report built here is identical to
+    /// the one [`run`](Self::run) builds (the cells are the same values, produced by
+    /// the same code path), so exports stay byte-identical with telemetry on or off.
+    /// Each cell's crypto counters are attributed exactly via the worker thread's
+    /// thread-local delta around that cell — correct under any thread count because
+    /// a cell runs entirely on one worker.
+    pub fn run_telemetry(
+        &self,
+        campaign: &Campaign,
+    ) -> (CampaignReport, Vec<CellTelemetry>, ExecutionStats) {
+        let start = Instant::now();
+        let results = self.map(campaign.specs().to_vec(), run_cell_instrumented);
+        let (cells, telemetry): (Vec<_>, Vec<_>) = results.into_iter().unzip();
+        let stats = ExecutionStats {
+            threads: self.threads.min(campaign.len()).max(1),
+            scenarios: campaign.len(),
+            elapsed: start.elapsed(),
+        };
+        (CampaignReport::new(cells), telemetry, stats)
+    }
+
     /// Runs one shard of `campaign` (see [`Campaign::shard`]) and aggregates its slice
     /// of the results in canonical order.
     ///
@@ -124,21 +150,75 @@ impl Executor {
         campaign: &Campaign,
         mut sink: impl FnMut(CellRecord) -> Result<(), E>,
     ) -> Result<(Totals, ExecutionStats), E> {
+        let mut totals = Totals::default();
+        let stats = self.stream_ordered(campaign, run_cell, |record| {
+            totals.record(&record.outcome);
+            sink(record)
+        })?;
+        Ok((totals, stats))
+    }
+
+    /// The streaming counterpart of [`run_telemetry`](Self::run_telemetry):
+    /// [`run_streaming`](Self::run_streaming) where the sink also receives each
+    /// cell's [`CellTelemetry`], in the same canonical order as the records.
+    ///
+    /// The telemetry is produced whether or not the sink keeps it, and nothing about
+    /// the record sequence or the folded [`Totals`] depends on it — a sink that
+    /// ignores its second argument emits exactly the artifacts
+    /// [`run_streaming`](Self::run_streaming) would.
+    ///
+    /// # Errors
+    ///
+    /// The first error the sink returns, as in [`run_streaming`](Self::run_streaming).
+    pub fn run_streaming_telemetry<E>(
+        &self,
+        campaign: &Campaign,
+        mut sink: impl FnMut(CellRecord, CellTelemetry) -> Result<(), E>,
+    ) -> Result<(Totals, ExecutionStats), E> {
+        let mut totals = Totals::default();
+        let stats =
+            self.stream_ordered(campaign, run_cell_instrumented, |(record, telemetry)| {
+                totals.record(&record.outcome);
+                sink(record, telemetry)
+            })?;
+        Ok((totals, stats))
+    }
+
+    /// The generic ordered-streaming core behind
+    /// [`run_streaming`](Self::run_streaming) and
+    /// [`run_streaming_telemetry`](Self::run_streaming_telemetry): runs `job` on
+    /// every spec across the worker pool and hands each result to `emit` **in
+    /// canonical order**, never materializing the result vector.
+    ///
+    /// Workers run cells in parallel and complete them out of order; a reorder
+    /// buffer holds results finished ahead of the emission frontier, and a
+    /// **bounded** channel applies backpressure: when `emit` (e.g. a slow disk)
+    /// falls behind, workers block instead of piling completed results into memory,
+    /// so results ahead of the frontier stay bounded by a small multiple of the
+    /// worker count. (Only a pathologically slow *head* cell can grow the buffer
+    /// beyond that — emission cannot pass it, but the results behind it must be
+    /// received to reach it.)
+    fn stream_ordered<T: Send, E>(
+        &self,
+        campaign: &Campaign,
+        job: impl Fn(ScenarioSpec) -> T + Sync,
+        mut emit: impl FnMut(T) -> Result<(), E>,
+    ) -> Result<ExecutionStats, E> {
         let start = Instant::now();
         let specs = campaign.specs();
         let total = specs.len();
         let workers = self.threads.min(total);
         let progress = self.progress;
         let cursor = AtomicUsize::new(0);
-        let mut totals = Totals::default();
         let mut failure: Option<E> = None;
 
         std::thread::scope(|scope| {
-            // Bounded: a sink slower than the workers must throttle them, not let
-            // completed cells accumulate toward O(campaign) — the cap this mode
-            // exists to remove. Two slots per worker keeps the pipeline full.
-            let (tx, rx) = mpsc::sync_channel::<(usize, CellRecord)>(workers.max(1) * 2);
+            // Bounded: an emitter slower than the workers must throttle them, not
+            // let completed results accumulate toward O(campaign) — the cap this
+            // mode exists to remove. Two slots per worker keeps the pipeline full.
+            let (tx, rx) = mpsc::sync_channel::<(usize, T)>(workers.max(1) * 2);
             let cursor = &cursor;
+            let job = &job;
             for _ in 0..workers {
                 let tx = tx.clone();
                 scope.spawn(move || loop {
@@ -146,22 +226,21 @@ impl Executor {
                     if idx >= total {
                         break;
                     }
-                    // A send error means the receiver gave up (sink failure): stop.
-                    if tx.send((idx, run_cell(specs[idx]))).is_err() {
+                    // A send error means the receiver gave up (emit failure): stop.
+                    if tx.send((idx, job(specs[idx]))).is_err() {
                         break;
                     }
                 });
             }
             drop(tx);
-            // Reorder buffer: cells completed ahead of the emission frontier wait
+            // Reorder buffer: results completed ahead of the emission frontier wait
             // here; `next` is the index the canonical order emits next.
-            let mut pending: BTreeMap<usize, CellRecord> = BTreeMap::new();
+            let mut pending: BTreeMap<usize, T> = BTreeMap::new();
             let mut next = 0usize;
-            'receive: for (idx, record) in rx {
-                pending.insert(idx, record);
-                while let Some(record) = pending.remove(&next) {
-                    totals.record(&record.outcome);
-                    if let Err(err) = sink(record) {
+            'receive: for (idx, item) in rx {
+                pending.insert(idx, item);
+                while let Some(item) = pending.remove(&next) {
+                    if let Err(err) = emit(item) {
                         failure = Some(err);
                         break 'receive;
                     }
@@ -175,12 +254,11 @@ impl Executor {
         if let Some(err) = failure {
             return Err(err);
         }
-        let stats = ExecutionStats {
+        Ok(ExecutionStats {
             threads: self.threads.min(total).max(1),
             scenarios: total,
             elapsed: start.elapsed(),
-        };
-        Ok((totals, stats))
+        })
     }
 
     /// Runs one shard of `campaign` in streaming mode: [`run_streaming`] over the
@@ -205,6 +283,26 @@ impl Executor {
         sink: impl FnMut(CellRecord) -> Result<(), E>,
     ) -> Result<(Totals, ExecutionStats), E> {
         self.run_streaming(&campaign.shard(plan), sink)
+    }
+
+    /// Runs one shard of `campaign` in streaming-telemetry mode:
+    /// [`run_streaming_telemetry`](Self::run_streaming_telemetry) over the shard's
+    /// slice of the canonical work list (see [`Campaign::shard`]).
+    ///
+    /// This is how `campaign_ctl run --stream --metrics` writes a `metrics.jsonl`
+    /// sidecar next to each shard's `report.jsonl` without perturbing the report
+    /// bytes.
+    ///
+    /// # Errors
+    ///
+    /// The first error the sink returns, as in [`run_streaming`](Self::run_streaming).
+    pub fn run_shard_streaming_telemetry<E>(
+        &self,
+        campaign: &Campaign,
+        plan: ShardPlan,
+        sink: impl FnMut(CellRecord, CellTelemetry) -> Result<(), E>,
+    ) -> Result<(Totals, ExecutionStats), E> {
+        self.run_streaming_telemetry(&campaign.shard(plan), sink)
     }
 
     /// Runs an explicit contiguous sub-range of `campaign`'s canonical work list in
@@ -300,28 +398,73 @@ impl Executor {
 
 /// Runs one campaign cell: characterize, then execute the prescribed plan.
 fn run_cell(spec: ScenarioSpec) -> CellRecord {
-    let outcome = match spec.setting() {
-        Err(err) => CellOutcome::Failed { message: err.to_string() },
+    run_cell_instrumented(spec).0
+}
+
+/// Runs one campaign cell and attributes its cost: the crypto-counter delta is the
+/// *worker thread's* thread-local delta around the cell — exact under any thread
+/// count, because each cell runs start to finish on the one thread that claimed it
+/// (see [`bsm_crypto::counters::thread_snapshot`]).
+///
+/// The [`CellRecord`] half is exactly what [`run_cell`] produces; the instrumentation
+/// reads state the run drops anyway (the thread counters, [`Metrics`] breakdown and
+/// corrupted set of the outcome), so instrumented and plain runs build identical
+/// records.
+///
+/// [`Metrics`]: bsm_net::Metrics
+fn run_cell_instrumented(spec: ScenarioSpec) -> (CellRecord, CellTelemetry) {
+    let before = bsm_crypto::counters::thread_snapshot();
+    let start = Instant::now();
+    let (outcome, telemetry) = match spec.setting() {
+        Err(err) => (CellOutcome::Failed { message: err.to_string() }, None),
         Ok(setting) => match characterize(&setting) {
-            Solvability::Unsolvable(imp) => {
-                CellOutcome::Unsolvable { theorem: imp.theorem.to_string(), reason: imp.reason }
-            }
+            Solvability::Unsolvable(imp) => (
+                CellOutcome::Unsolvable { theorem: imp.theorem.to_string(), reason: imp.reason },
+                None,
+            ),
             Solvability::Solvable(plan) => {
                 match spec.build_scenario().and_then(|s| s.run_with_plan(plan)) {
-                    Ok(run) => CellOutcome::Completed(CellStats {
-                        plan: run.plan,
-                        all_honest_decided: run.all_honest_decided,
-                        violations: run.violations.len(),
-                        slots: run.slots,
-                        messages: run.metrics.total_messages(),
-                        signatures: run.signatures,
-                    }),
-                    Err(err) => CellOutcome::Failed { message: err.to_string() },
+                    Ok(run) => {
+                        let stats = CellStats {
+                            plan: run.plan,
+                            all_honest_decided: run.all_honest_decided,
+                            violations: run.violations.len(),
+                            slots: run.slots,
+                            messages: run.metrics.total_messages(),
+                            signatures: run.signatures,
+                        };
+                        let metrics = &run.metrics;
+                        let telemetry = CellTelemetry {
+                            spec,
+                            status: "completed",
+                            crypto: bsm_crypto::CounterSnapshot::default(), // filled below
+                            messages: metrics.total_messages(),
+                            delivered: metrics.delivered_messages,
+                            dropped: metrics.dropped_by_faults,
+                            rejected: metrics.rejected_by_topology,
+                            slots: metrics.slots,
+                            fanout: metrics.fanout_by_role(&run.corrupted),
+                            wall_nanos: 0, // filled below
+                        };
+                        (CellOutcome::Completed(stats), Some(telemetry))
+                    }
+                    Err(err) => (CellOutcome::Failed { message: err.to_string() }, None),
                 }
             }
         },
     };
-    CellRecord { spec, outcome }
+    let crypto = bsm_crypto::counters::thread_snapshot() - before;
+    let wall_nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let status = match &outcome {
+        CellOutcome::Completed(_) => "completed",
+        CellOutcome::Unsolvable { .. } => "unsolvable",
+        CellOutcome::Failed { .. } => "failed",
+    };
+    let telemetry = match telemetry {
+        Some(partial) => CellTelemetry { crypto, wall_nanos, ..partial },
+        None => CellTelemetry::without_run(spec, status, crypto, wall_nanos),
+    };
+    (CellRecord { spec, outcome }, telemetry)
 }
 
 /// Parses a `BSM_THREADS`-style value; `None` for unset, empty, zero or non-numeric.

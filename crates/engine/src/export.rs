@@ -76,14 +76,20 @@ fn csv_field(s: &str) -> String {
     }
 }
 
-/// Writes the common JSON key/value pairs of one cell's coordinates.
-fn spec_json(record: &CellRecord) -> String {
-    let s = &record.spec;
+/// Writes the common JSON key/value pairs of one cell's coordinates (shared by the
+/// report cell lines, the telemetry sidecar lines and the heartbeat's last
+/// coordinate, so all three render coordinates identically).
+pub(crate) fn spec_fields_json(s: &ScenarioSpec) -> String {
     format!(
         "\"k\": {}, \"topology\": \"{}\", \"auth\": \"{}\", \"t_l\": {}, \"t_r\": {}, \
          \"adversary\": \"{}\", \"seed\": {}",
         s.k, s.topology, s.auth, s.t_l, s.t_r, s.adversary, s.seed
     )
+}
+
+/// Writes the common JSON key/value pairs of one cell's coordinates.
+fn spec_json(record: &CellRecord) -> String {
+    spec_fields_json(&record.spec)
 }
 
 /// Renders the aggregate counters as the JSON object used by [`to_json`]'s `totals`
@@ -291,8 +297,11 @@ impl From<std::io::Error> for StreamError {
 }
 
 /// Enforces the strictly-increasing canonical coordinate order shared by every
-/// streaming writer.
-fn check_order(last: &mut Option<ScenarioSpec>, next: ScenarioSpec) -> Result<(), StreamError> {
+/// streaming writer (including the telemetry sidecar exporter).
+pub(crate) fn check_order(
+    last: &mut Option<ScenarioSpec>,
+    next: ScenarioSpec,
+) -> Result<(), StreamError> {
     if let Some(previous) = *last {
         if next <= previous {
             return Err(StreamError::OutOfOrder { previous, next });

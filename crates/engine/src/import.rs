@@ -92,7 +92,7 @@ impl std::error::Error for ImportError {}
 
 /// A parsed JSON value of the subset the exporter emits (no floats, no null).
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum Value {
+pub(crate) enum Value {
     Object(Vec<(String, Value)>),
     Array(Vec<Value>),
     String(String),
@@ -101,7 +101,7 @@ enum Value {
 }
 
 impl Value {
-    fn type_name(&self) -> &'static str {
+    pub(crate) fn type_name(&self) -> &'static str {
         match self {
             Value::Object(_) => "object",
             Value::Array(_) => "array",
@@ -113,13 +113,13 @@ impl Value {
 }
 
 /// A recursive-descent parser over the document bytes.
-struct Parser<'a> {
+pub(crate) struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
+    pub(crate) fn new(text: &'a str) -> Self {
         Self { bytes: text.as_bytes(), pos: 0 }
     }
 
@@ -150,7 +150,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn parse_document(&mut self) -> Result<Value, ImportError> {
+    pub(crate) fn parse_document(&mut self) -> Result<Value, ImportError> {
         let value = self.parse_value()?;
         self.skip_whitespace();
         if self.pos != self.bytes.len() {
@@ -356,11 +356,14 @@ impl<'a> Parser<'a> {
 // Schema mapping: Value → CampaignReport
 // ---------------------------------------------------------------------------
 
-fn schema(message: impl Into<String>) -> ImportError {
+pub(crate) fn schema(message: impl Into<String>) -> ImportError {
     ImportError::Schema(message.into())
 }
 
-fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, ImportError> {
+pub(crate) fn field<'v>(
+    fields: &'v [(String, Value)],
+    name: &str,
+) -> Result<&'v Value, ImportError> {
     fields
         .iter()
         .find(|(key, _)| key == name)
@@ -368,33 +371,36 @@ fn field<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v Value, Imp
         .ok_or_else(|| schema(format!("missing field {name:?}")))
 }
 
-fn as_object(value: &Value, what: &str) -> Result<Vec<(String, Value)>, ImportError> {
+pub(crate) fn as_object(value: &Value, what: &str) -> Result<Vec<(String, Value)>, ImportError> {
     match value {
         Value::Object(fields) => Ok(fields.clone()),
         other => Err(schema(format!("{what}: expected object, found {}", other.type_name()))),
     }
 }
 
-fn number(fields: &[(String, Value)], name: &str) -> Result<u64, ImportError> {
+pub(crate) fn number(fields: &[(String, Value)], name: &str) -> Result<u64, ImportError> {
     match field(fields, name)? {
         Value::Number(n) => Ok(*n),
         other => Err(schema(format!("{name}: expected number, found {}", other.type_name()))),
     }
 }
 
-fn usize_field(fields: &[(String, Value)], name: &str) -> Result<usize, ImportError> {
+pub(crate) fn usize_field(fields: &[(String, Value)], name: &str) -> Result<usize, ImportError> {
     usize::try_from(number(fields, name)?)
         .map_err(|_| schema(format!("{name}: value exceeds usize")))
 }
 
-fn string<'v>(fields: &'v [(String, Value)], name: &str) -> Result<&'v str, ImportError> {
+pub(crate) fn string<'v>(
+    fields: &'v [(String, Value)],
+    name: &str,
+) -> Result<&'v str, ImportError> {
     match field(fields, name)? {
         Value::String(s) => Ok(s),
         other => Err(schema(format!("{name}: expected string, found {}", other.type_name()))),
     }
 }
 
-fn boolean(fields: &[(String, Value)], name: &str) -> Result<bool, ImportError> {
+pub(crate) fn boolean(fields: &[(String, Value)], name: &str) -> Result<bool, ImportError> {
     match field(fields, name)? {
         Value::Bool(b) => Ok(*b),
         other => Err(schema(format!("{name}: expected boolean, found {}", other.type_name()))),
@@ -439,17 +445,23 @@ fn parse_plan(name: &str) -> Result<ProtocolPlan, ImportError> {
         .ok_or_else(|| schema(format!("unknown protocol plan {name:?}")))
 }
 
+/// Parses the grid-coordinate fields shared by report cells, telemetry sidecar lines
+/// and heartbeat documents into a [`ScenarioSpec`].
+pub(crate) fn parse_spec(fields: &[(String, Value)]) -> Result<ScenarioSpec, ImportError> {
+    Ok(ScenarioSpec {
+        k: usize_field(fields, "k")?,
+        topology: parse_topology(string(fields, "topology")?)?,
+        auth: parse_auth(string(fields, "auth")?)?,
+        t_l: usize_field(fields, "t_l")?,
+        t_r: usize_field(fields, "t_r")?,
+        adversary: parse_adversary(string(fields, "adversary")?)?,
+        seed: number(fields, "seed")?,
+    })
+}
+
 fn parse_cell(value: &Value) -> Result<CellRecord, ImportError> {
     let fields = as_object(value, "cell")?;
-    let spec = ScenarioSpec {
-        k: usize_field(&fields, "k")?,
-        topology: parse_topology(string(&fields, "topology")?)?,
-        auth: parse_auth(string(&fields, "auth")?)?,
-        t_l: usize_field(&fields, "t_l")?,
-        t_r: usize_field(&fields, "t_r")?,
-        adversary: parse_adversary(string(&fields, "adversary")?)?,
-        seed: number(&fields, "seed")?,
-    };
+    let spec = parse_spec(&fields)?;
     let outcome = match string(&fields, "status")? {
         "completed" => CellOutcome::Completed(CellStats {
             plan: parse_plan(string(&fields, "plan")?)?,

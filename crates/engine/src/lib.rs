@@ -23,7 +23,12 @@
 //!   export lazily with [`StreamingCells`],
 //! * [`diff`] — [`CampaignDiff`]: cell-level comparison of two reports, rendering
 //!   only the differing cells,
-//! * [`progress`] — an optional scenarios/sec + ETA reporter on stderr.
+//! * [`progress`] — an optional scenarios/sec + ETA reporter on stderr,
+//! * [`telemetry`] — the observability side channel: per-cell attributed cost
+//!   records ([`CellTelemetry`]) streamed to a `metrics.jsonl` sidecar, log-bucketed
+//!   [`Histogram`]s and `campaign_ctl stats` aggregation ([`CampaignStats`]), and
+//!   live `progress.json` shard heartbeats ([`Heartbeat`]); report artifacts stay
+//!   byte-identical with telemetry on or off.
 //!
 //! # Sharded campaigns
 //!
@@ -135,6 +140,7 @@ pub mod grid;
 pub mod import;
 pub mod progress;
 pub mod report;
+pub mod telemetry;
 
 pub use bench::BenchSnapshot;
 pub use campaign::{Campaign, CampaignBuilder};
@@ -152,6 +158,10 @@ pub use progress::Progress;
 pub use report::{
     CampaignReport, CellMerge, CellMergeError, CellOutcome, CellRecord, CellStats, ExecutionStats,
     MergeError, Totals,
+};
+pub use telemetry::{
+    parse_progress, parse_telemetry_line, CampaignStats, CellTelemetry, Heartbeat, Histogram,
+    ProgressSnapshot, TelemetryCells, TelemetryExporter,
 };
 
 // Campaign-friendliness audit: everything the executor moves across worker threads

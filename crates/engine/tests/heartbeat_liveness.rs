@@ -1,0 +1,53 @@
+//! Heartbeat atomicity: a concurrent reader must never observe a torn or invalid
+//! `progress.json`, no matter how often the writer rewrites it.
+//!
+//! This is the contract a coordinator daemon polls against: each rewrite goes
+//! through a temp-file + atomic rename, so every read of the path yields a
+//! complete, parseable snapshot whose `done` only ever advances.
+
+use bsm_engine::{parse_progress, CampaignBuilder, Heartbeat};
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[test]
+fn concurrent_reader_never_sees_a_torn_heartbeat() {
+    let dir = std::env::temp_dir().join(format!("bsm-heartbeat-liveness-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // A tiny grid supplies real coordinates for the `last` field.
+    let campaign = CampaignBuilder::new().sizes([2]).seeds(0..1).build();
+    let specs: Vec<_> = campaign.specs().to_vec();
+    let total = 512usize;
+    let mut heartbeat =
+        Heartbeat::new(&dir, total, 1).expect("heartbeat creation writes the initial snapshot");
+    let path = heartbeat.path().to_path_buf();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let reader = scope.spawn(|| {
+            let mut reads = 0u64;
+            let mut last_done = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let text = std::fs::read_to_string(&path).expect("the path always exists");
+                let snapshot = parse_progress(&text)
+                    .unwrap_or_else(|err| panic!("torn/invalid heartbeat: {err}\n{text}"));
+                assert_eq!(snapshot.total, total);
+                assert!(snapshot.done <= snapshot.total);
+                assert!(snapshot.done >= last_done, "done must never move backwards");
+                last_done = snapshot.done;
+                reads += 1;
+            }
+            reads
+        });
+        // Beat on every cell (every = 1) to maximize rename pressure.
+        for i in 0..total {
+            heartbeat.tick(specs[i % specs.len()]).expect("tick rewrites atomically");
+        }
+        heartbeat.finish().expect("final snapshot");
+        stop.store(true, Ordering::Relaxed);
+        let reads = reader.join().expect("reader thread");
+        assert!(reads > 0, "the reader must have raced at least one read");
+    });
+    let final_text = std::fs::read_to_string(&path).expect("final heartbeat");
+    let snapshot = parse_progress(&final_text).expect("final heartbeat parses");
+    assert_eq!(snapshot.done, total);
+    assert!(snapshot.last.is_some(), "a finished shard reports its last coordinate");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,116 @@
+//! Telemetry side-channel regression tests.
+//!
+//! The sidecar's core contract extends the campaign-determinism guarantee: running
+//! with telemetry must leave every report artifact **byte-identical** to running
+//! without it, and the sidecar's own deterministic projection must be byte-identical
+//! across thread counts — only the trailing `timing` object may vary.
+
+use bsm_core::harness::AdversarySpec;
+use bsm_core::problem::AuthMode;
+use bsm_engine::export::{to_csv, to_json};
+use bsm_engine::{CampaignBuilder, CampaignStats, CellTelemetry, Executor, StreamError};
+use bsm_net::Topology;
+
+/// The same fixed mixed campaign as `campaign_determinism.rs`: solvable and
+/// unsolvable cells, every topology, both auth modes, all adversaries.
+fn fixed_campaign() -> bsm_engine::Campaign {
+    CampaignBuilder::new()
+        .sizes([2, 3])
+        .topologies(Topology::ALL)
+        .auth_modes(AuthMode::ALL)
+        .corruptions([(0, 0), (0, 1), (1, 1)])
+        .adversaries(AdversarySpec::ALL)
+        .seeds(0..2)
+        .build()
+}
+
+#[test]
+fn telemetry_never_changes_a_report_byte() {
+    let campaign = fixed_campaign();
+    let (reference, _) = Executor::new().threads(1).run(&campaign);
+    let reference_json = to_json(&reference);
+    let reference_csv = to_csv(&reference);
+    for threads in [1usize, 4] {
+        let (report, telemetry, stats) = Executor::new().threads(threads).run_telemetry(&campaign);
+        assert_eq!(report, reference, "telemetry changed the report at {threads} threads");
+        assert_eq!(to_json(&report), reference_json);
+        assert_eq!(to_csv(&report), reference_csv);
+        assert_eq!(telemetry.len(), campaign.len());
+        assert_eq!(stats.scenarios, campaign.len());
+        // One telemetry line per report cell, same coordinates, same status.
+        for (cell, record) in telemetry.iter().zip(report.cells()) {
+            assert_eq!(cell.spec, record.spec);
+        }
+    }
+}
+
+#[test]
+fn deterministic_projection_is_byte_identical_across_thread_counts() {
+    let campaign = fixed_campaign();
+    let projections = |threads: usize| -> Vec<String> {
+        let (_, telemetry, _) = Executor::new().threads(threads).run_telemetry(&campaign);
+        telemetry.iter().map(CellTelemetry::deterministic_json).collect()
+    };
+    let reference = projections(1);
+    assert_eq!(projections(4), reference, "deterministic projection diverged at 4 threads");
+    // The projection really is the full line minus the timing suffix.
+    let (_, telemetry, _) = Executor::new().threads(2).run_telemetry(&campaign);
+    for (cell, expected) in telemetry.iter().zip(&reference) {
+        let line = cell.to_json();
+        let stripped = line
+            .split(", \"timing\": ")
+            .next()
+            .map(|head| format!("{head}}}"))
+            .expect("every line has a timing suffix");
+        assert_eq!(&stripped, expected);
+    }
+}
+
+#[test]
+fn streamed_telemetry_matches_the_in_memory_run() {
+    let campaign = fixed_campaign();
+    let executor = Executor::new().threads(4);
+    let (report, in_memory, _) = executor.run_telemetry(&campaign);
+    let mut streamed_records = Vec::new();
+    let mut streamed_telemetry = Vec::new();
+    let (totals, _) = executor
+        .run_streaming_telemetry(&campaign, |record, telemetry| -> Result<(), StreamError> {
+            streamed_records.push(record);
+            streamed_telemetry.push(telemetry);
+            Ok(())
+        })
+        .expect("streamed telemetry run succeeds");
+    assert_eq!(totals, report.totals());
+    assert_eq!(streamed_records, report.cells().to_vec());
+    assert_eq!(streamed_telemetry.len(), in_memory.len());
+    for (streamed, reference) in streamed_telemetry.iter().zip(&in_memory) {
+        assert_eq!(streamed.deterministic_json(), reference.deterministic_json());
+    }
+}
+
+#[test]
+fn campaign_stats_aggregate_a_real_campaign() {
+    let campaign = fixed_campaign();
+    let (_, telemetry, _) = Executor::new().threads(4).run_telemetry(&campaign);
+    let mut stats = CampaignStats::default();
+    for cell in &telemetry {
+        stats.record(cell);
+    }
+    assert_eq!(stats.cells, campaign.len() as u64);
+    assert_eq!(stats.wall.count(), stats.cells);
+    assert_eq!(stats.messages.count(), stats.cells);
+    // The per-cell deltas sum back to a campaign that demonstrably did crypto work.
+    assert!(stats.crypto.digests_computed > 0);
+    assert!(stats.crypto.signatures_verified > 0, "authenticated cells verify chains");
+    // Every axis of the grid shows up in its rollup.
+    assert_eq!(stats.by_k.len(), 2, "sizes 2 and 3");
+    assert_eq!(stats.by_adversary.len(), AdversarySpec::ALL.len());
+    assert_eq!(stats.by_topology.len(), Topology::ALL.len());
+    let rendered = stats.render(3);
+    for needle in ["cells:", "wall: p50=", "top 3 cells by wall time:", "by adversary:"] {
+        assert!(rendered.contains(needle), "missing {needle:?} in:\n{rendered}");
+    }
+    // The rollups partition the campaign: each axis's cell counts sum to the total.
+    let k_cells: u64 = stats.by_k.values().map(|r| r.cells).sum();
+    assert_eq!(k_cells, stats.cells);
+}

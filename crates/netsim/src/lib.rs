@@ -39,7 +39,7 @@ mod topology;
 pub use adversary::{Adversary, AdversaryContext, CorruptionBudget, PassiveAdversary};
 pub use faults::{DropAll, FaultInjector, NoFaults, PredicateFaults, RandomOmissions};
 pub use message::{multicast, Envelope, Outgoing};
-pub use metrics::Metrics;
+pub use metrics::{FanoutSummary, Metrics, RoleFanout};
 pub use party::{PartyId, PartySet};
 pub use process::{Process, SilentProcess};
 pub use round::{RoundDriver, RoundProtocol};
