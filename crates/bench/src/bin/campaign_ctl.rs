@@ -20,6 +20,19 @@
 //! the full ~1080-cell sweep — the same grids as `examples/campaign.rs`) and writes
 //! `report.json` + `report.csv` to `--out`. All flags come from [`bsm_bench::cli`].
 //!
+//! # Scenario files (`--scenario`)
+//!
+//! Instead of the built-in grids, `run --scenario FILE` (also honored by `resume`)
+//! loads a declarative scenario file — grid axes plus a schedule of network faults
+//! (partitions, crash/recovery, seeded loss and jitter); see `docs/SCENARIOS.md`.
+//! The file's canonical rendering is embedded in every report artifact as its
+//! *scenario tag*, and `merge`/`diff` refuse to combine artifacts whose tags differ,
+//! so mixed-scenario data can never splice silently:
+//!
+//! ```sh
+//! campaign_ctl run --scenario examples/scenarios/partition_heal.toml --stream --metrics
+//! ```
+//!
 //! # Streaming (`--stream`)
 //!
 //! For campaigns too large to hold every cell in memory, `run --stream` writes a
@@ -80,23 +93,36 @@ use bsm_engine::export::{
     atomic_write, to_csv, to_json, AtomicFile, MergedJsonWriter, StreamingCsvWriter,
     StreamingExporter,
 };
-use bsm_engine::import::{footer_totals, from_json, from_jsonl, StreamingCells};
+use bsm_engine::import::{footer_meta, from_json, from_jsonl, StreamingCells};
 use bsm_engine::telemetry::{
     parse_progress, CampaignStats, CellTelemetry, Heartbeat, TelemetryExporter, HEARTBEAT_EVERY,
 };
 use bsm_engine::{
     Campaign, CampaignBuilder, CampaignDiff, CampaignReport, CellMerge, Executor, Progress,
-    ShardPlan, StreamError, Totals,
+    ScenarioFile, ShardPlan, StreamError, Totals,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-/// The standard campaign grids, mirrored by `examples/campaign.rs` — the CI gate
-/// cross-checks that both produce byte-identical exports.
-fn build_campaign(smoke: bool) -> Campaign {
-    if smoke {
+/// The campaign to run, plus the canonical scenario text when one was loaded from
+/// `--scenario FILE` (embedded in every report artifact as its scenario tag).
+///
+/// Without `--scenario`, the standard grids are mirrored by `examples/campaign.rs` —
+/// the CI gate cross-checks that both produce byte-identical exports.
+fn build_campaign(args: &BenchArgs) -> Result<(Campaign, Option<String>), String> {
+    if let Some(path) = &args.scenario {
+        if args.smoke {
+            return Err("--scenario and --smoke are mutually exclusive (the scenario \
+                 file already names its whole grid)"
+                .into());
+        }
+        let scenario = ScenarioFile::load(path).map_err(|err| err.to_string())?;
+        eprintln!("loaded scenario {:?} from {}", scenario.name, path.display());
+        return Ok((scenario.campaign(), Some(scenario.canonical())));
+    }
+    let campaign = if args.smoke {
         // Small CI grid: 1 × 3 × 2 × 2 × 3 × 2 = 72 cells.
         CampaignBuilder::new()
             .sizes([3])
@@ -112,7 +138,8 @@ fn build_campaign(smoke: bool) -> Campaign {
             .adversaries(AdversarySpec::ALL)
             .seeds(0..5)
             .build()
-    }
+    };
+    Ok((campaign, None))
 }
 
 /// Writes `report.json` and `report.csv` for `report` under `dir` (each through a
@@ -186,21 +213,27 @@ fn publish_partial(jsonl: BufWriter<File>, partial: &Path, dest: &Path) -> Resul
 }
 
 fn run(args: &BenchArgs) -> Result<(), String> {
-    let campaign = build_campaign(args.smoke);
+    let (campaign, scenario) = build_campaign(args)?;
     let executor = args.executor().progress(Progress::Stderr { every: 250 });
     match args.shard {
         Some(plan) => eprintln!("running shard {plan} of {campaign}"),
         None => eprintln!("running {campaign}"),
     }
     if args.stream {
-        return run_streamed(args, &campaign, &executor);
+        return run_streamed(args, &campaign, scenario.as_deref(), &executor);
     }
+    // Tag the report with the scenario's canonical text (a no-op without --scenario).
+    let tag = |report: CampaignReport| match &scenario {
+        Some(text) => report.with_scenario(text.clone()),
+        None => report,
+    };
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
     if args.metrics {
         // The telemetry path builds the exact report the plain path builds (the
         // records come from the same cell runner) — the sidecar is a pure addition.
         let target = campaign.shard(args.shard.unwrap_or(ShardPlan::WHOLE));
         let (report, telemetry, stats) = executor.run_telemetry(&target);
+        let report = tag(report);
         eprintln!("{stats}");
         println!("totals: {}", report.totals());
         export_report(&report, &out)?;
@@ -210,6 +243,7 @@ fn run(args: &BenchArgs) -> Result<(), String> {
         Some(plan) => executor.run_shard(&campaign, plan),
         None => executor.run(&campaign),
     };
+    let report = tag(report);
     eprintln!("{stats}");
     println!("totals: {}", report.totals());
     export_report(&report, &out)
@@ -227,7 +261,12 @@ fn run(args: &BenchArgs) -> Result<(), String> {
 /// stream at the final path. The CSV (and the `--metrics` sidecar) go through an
 /// [`AtomicFile`]. The `progress.json` heartbeat is the one artifact deliberately
 /// *left behind* on failure: its last atomic snapshot shows where the run died.
-fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> Result<(), String> {
+fn run_streamed(
+    args: &BenchArgs,
+    campaign: &Campaign,
+    scenario: Option<&str>,
+    executor: &Executor,
+) -> Result<(), String> {
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
     std::fs::create_dir_all(&out)
         .map_err(|err| format!("cannot create {}: {err}", out.display()))?;
@@ -259,6 +298,9 @@ fn run_streamed(args: &BenchArgs, campaign: &Campaign, executor: &Executor) -> R
         .map_err(|err| format!("cannot write heartbeat in {}: {err}", out.display()))?;
     let result = (|| -> Result<(Totals, bsm_engine::ExecutionStats), String> {
         let mut exporter = StreamingExporter::new(&mut jsonl);
+        if let Some(text) = scenario {
+            exporter.set_scenario(text);
+        }
         let mut csv = StreamingCsvWriter::new(&mut csv_out)
             .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
         let mut metrics = metrics_out.as_mut().map(TelemetryExporter::new);
@@ -351,7 +393,7 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
     let out = args.out.clone().ok_or_else(|| {
         "resume: --out DIR is required (the directory of the interrupted streamed run)".to_string()
     })?;
-    let campaign = build_campaign(args.smoke);
+    let (campaign, scenario) = build_campaign(args)?;
     let plan = args.shard.unwrap_or(ShardPlan::WHOLE);
     let shard = campaign.shard(plan);
     let path = out.join("report.jsonl");
@@ -419,6 +461,9 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
         .map_err(|err| format!("cannot write heartbeat in {}: {err}", out.display()))?;
     let result = (|| -> Result<(Totals, bsm_engine::ExecutionStats), String> {
         let mut exporter = StreamingExporter::new(&mut jsonl);
+        if let Some(text) = &scenario {
+            exporter.set_scenario(text.clone());
+        }
         let mut csv = StreamingCsvWriter::new(&mut csv_out)
             .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
         for cell in &salvaged.cells {
@@ -474,10 +519,15 @@ fn bench(args: &BenchArgs) -> Result<(), String> {
     // The benchmark campaign is fixed by design (the snapshot is only comparable
     // across runs of the same grid); silently accepting run-flavored flags would
     // ship a mislabeled baseline with exit 0.
-    if args.shard.is_some() || args.stream || args.metrics || !args.files.is_empty() {
-        return Err("bench: --shard, --stream, --metrics and file arguments are not \
-             supported (the benchmark campaign is fixed and its snapshot already \
-             carries the counter deltas; use --smoke, --threads, --out)"
+    if args.shard.is_some()
+        || args.stream
+        || args.metrics
+        || args.scenario.is_some()
+        || !args.files.is_empty()
+    {
+        return Err("bench: --shard, --stream, --metrics, --scenario and file arguments \
+             are not supported (the benchmark campaign is fixed and its snapshot \
+             already carries the counter deltas; use --smoke, --threads, --out)"
             .into());
     }
     let executor = args.executor().progress(Progress::Stderr { every: 250 });
@@ -528,18 +578,31 @@ fn merge(args: &BenchArgs) -> Result<(), String> {
 /// `merge --stream`: k-way merge of shard `report.jsonl` streams in constant memory.
 ///
 /// Pass 1 reads just the totals footers (the JSON document puts totals before the
-/// cells, so the coordinator must know them up front); pass 2 lazily streams the
-/// cells of all shards through the binary-heap merge into `report.json` +
+/// cells, so the coordinator must know them up front) and the scenario tags they
+/// carry — shards from different scenarios refuse to merge; pass 2 lazily streams
+/// the cells of all shards through the binary-heap merge into `report.json` +
 /// `report.csv`, byte-identical to the in-memory merge. The writers verify the
 /// summed footers against the cells actually streamed, so a lying footer or
 /// truncated shard fails the merge instead of shipping a wrong artifact.
 fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
     let mut declared = Totals::default();
-    for path in &args.files {
+    let mut scenario: Option<String> = None;
+    for (index, path) in args.files.iter().enumerate() {
         let file = File::open(path).map_err(|err| format!("cannot read {path}: {err}"))?;
-        let totals = footer_totals(BufReader::new(file))
+        let (totals, tag) = footer_meta(BufReader::new(file))
             .map_err(|err| format!("cannot read footer of {path}: {err}"))?;
         declared += totals;
+        if index == 0 {
+            scenario = tag;
+        } else if tag != scenario {
+            let render = |t: &Option<String>| t.clone().unwrap_or_else(|| "no scenario tag".into());
+            return Err(format!(
+                "cannot merge shards from different scenarios: {path} carries {:?} but the \
+                 first shard carries {:?}",
+                render(&tag),
+                render(&scenario)
+            ));
+        }
     }
     let mut streams = Vec::new();
     for path in &args.files {
@@ -558,7 +621,7 @@ fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
     let mut csv_out = AtomicFile::create(&csv_path)
         .map_err(|err| format!("cannot write {}: {err}", csv_path.display()))?;
     let totals = (|| -> Result<Totals, String> {
-        let mut json = MergedJsonWriter::new(&mut json_out, declared)
+        let mut json = MergedJsonWriter::with_scenario(&mut json_out, declared, scenario)
             .map_err(|err| format!("cannot start {}: {err}", json_path.display()))?;
         let mut csv = StreamingCsvWriter::new(&mut csv_out)
             .map_err(|err| format!("cannot start {}: {err}", csv_path.display()))?;
@@ -594,7 +657,18 @@ fn diff(args: &BenchArgs) -> Result<bool, String> {
             args.files.len()
         ));
     };
-    let diff = CampaignDiff::between(&import_report(left)?, &import_report(right)?);
+    let (left, right) = (import_report(left)?, import_report(right)?);
+    if left.scenario() != right.scenario() {
+        // Cells of different scenarios are different experiments; a cell-level diff
+        // would be meaningless (and, under different grids, mostly "missing cell").
+        let render = |t: Option<&str>| t.map_or("no scenario tag".into(), |t| format!("{t:?}"));
+        return Err(format!(
+            "cannot diff reports from different scenarios: {} vs {}",
+            render(left.scenario()),
+            render(right.scenario())
+        ));
+    }
+    let diff = CampaignDiff::between(&left, &right);
     print!("{diff}");
     Ok(!diff.is_empty())
 }
@@ -664,8 +738,8 @@ fn main() -> ExitCode {
         "stats" => stats(&args).map(|()| false),
         other => Err(format!(
             "unknown subcommand {other:?}; usage: campaign_ctl \
-             <run|resume|bench|merge|diff|stats> [--smoke] [--stream] [--metrics] \
-             [--shard I/K] [--threads N] [--out DIR] \
+             <run|resume|bench|merge|diff|stats> [--smoke] [--scenario FILE] [--stream] \
+             [--metrics] [--shard I/K] [--threads N] [--out DIR] \
              [report.json|report.jsonl|metrics.jsonl ...]"
         )),
     };

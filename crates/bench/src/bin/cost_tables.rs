@@ -60,6 +60,7 @@ fn main() {
         t_l,
         t_r,
         adversary,
+        faults: bsm_net::FaultSpec::NONE,
         seed,
     };
 

@@ -86,6 +86,7 @@ fn main() {
                                 t_l,
                                 t_r,
                                 adversary,
+                                faults: bsm_net::FaultSpec::NONE,
                                 seed: 1000 + i as u64 + s * AdversarySpec::ALL.len() as u64,
                             });
                         }

@@ -11,6 +11,8 @@
 //! * `--shard I/K` — run only shard `I` of `K` of the campaign (1-based),
 //! * `--out DIR` — output directory for exported artifacts,
 //! * `--smoke` — the small CI grid instead of the full sweep,
+//! * `--scenario FILE` — load the campaign from a declarative scenario file
+//!   (see `docs/SCENARIOS.md`); mutually exclusive with `--smoke`,
 //! * `--stream` — streamed export/merge (constant memory; see `campaign_ctl`),
 //! * `--metrics` — write the per-cell telemetry sidecar (`metrics.jsonl`) next to
 //!   the report artifacts; never changes a report byte (see `campaign_ctl stats`).
@@ -41,6 +43,9 @@ pub struct BenchArgs {
     pub out: Option<PathBuf>,
     /// `true` when `--smoke` was passed (run the small CI grid).
     pub smoke: bool,
+    /// Scenario file from `--scenario` (a declarative campaign description; see
+    /// `docs/SCENARIOS.md`).
+    pub scenario: Option<PathBuf>,
     /// `true` when `--stream` was passed (streamed export/merge instead of the
     /// in-memory report path).
     pub stream: bool,
@@ -64,6 +69,7 @@ impl Default for BenchArgs {
             shard: None,
             out: None,
             smoke: false,
+            scenario: None,
             stream: false,
             metrics: false,
             files: Vec::new(),
@@ -111,6 +117,10 @@ impl BenchArgs {
                     None => parsed.unknown.push("--out (expects a directory)".into()),
                 },
                 "--smoke" => parsed.smoke = true,
+                "--scenario" => match value(&mut iter) {
+                    Some(file) => parsed.scenario = Some(PathBuf::from(file)),
+                    None => parsed.unknown.push("--scenario (expects a file)".into()),
+                },
                 "--stream" => parsed.stream = true,
                 "--metrics" => parsed.metrics = true,
                 other if other.starts_with("--") => parsed.unknown.push(other.to_string()),
@@ -152,14 +162,15 @@ impl fmt::Display for BenchArgs {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} stream={} metrics={} \
-             files={}",
+            "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} scenario={:?} stream={} \
+             metrics={} files={}",
             self.k,
             self.verify,
             self.threads,
             self.seeds,
             self.shard.map_or_else(|| "none".to_string(), |p| p.to_string()),
             self.smoke,
+            self.scenario,
             self.stream,
             self.metrics,
             self.files.len()
@@ -228,6 +239,19 @@ mod tests {
         assert!(parsed.to_string().contains("metrics=true"));
         assert!(!args(&[]).stream, "--stream must be off by default");
         assert!(!args(&[]).metrics, "--metrics must be off by default");
+    }
+
+    #[test]
+    fn scenario_flag_takes_a_file() {
+        let parsed = args(&["--scenario", "examples/scenarios/partition_heal.toml"]);
+        assert_eq!(
+            parsed.scenario.as_deref(),
+            Some(std::path::Path::new("examples/scenarios/partition_heal.toml"))
+        );
+        assert!(parsed.unknown.is_empty());
+        assert!(parsed.to_string().contains("partition_heal.toml"));
+        assert_eq!(args(&["--scenario"]).unknown.len(), 1);
+        assert_eq!(args(&["--scenario", "--smoke"]).scenario, None);
     }
 
     #[test]

@@ -14,8 +14,8 @@ use bsm_crypto::{KeyId, Pki};
 use bsm_matching::generators::uniform_profile;
 use bsm_matching::{PreferenceProfile, Side};
 use bsm_net::{
-    Adversary, CorruptionBudget, Metrics, PartyId, PartySet, PassiveAdversary, SilentProcess,
-    SimError, SyncNetwork, Topology,
+    Adversary, CorruptionBudget, FaultSchedule, FaultSpec, Metrics, PartyId, PartySet,
+    PassiveAdversary, SilentProcess, SimError, SyncNetwork, Topology,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -136,6 +136,7 @@ pub struct Scenario {
     profile: PreferenceProfile,
     corrupted: BTreeSet<PartyId>,
     adversary: AdversarySpec,
+    faults: FaultSpec,
     seed: u64,
     max_slots: Option<u64>,
     env: ScenarioEnv,
@@ -148,6 +149,7 @@ pub struct ScenarioBuilder {
     profile: Option<PreferenceProfile>,
     corrupted: BTreeSet<PartyId>,
     adversary: AdversarySpec,
+    faults: FaultSpec,
     seed: u64,
     max_slots: Option<u64>,
 }
@@ -160,6 +162,7 @@ impl Scenario {
             profile: None,
             corrupted: BTreeSet::new(),
             adversary: AdversarySpec::Crash,
+            faults: FaultSpec::NONE,
             seed: 0,
             max_slots: None,
         }
@@ -245,7 +248,12 @@ impl Scenario {
         let signatures_before = env.pki.signatures_issued();
         let slots_per_round = env.slots_per_round();
         let total_rounds = env.total_rounds(plan);
-        let max_slots = self.max_slots.unwrap_or_else(|| slots_per_round * (total_rounds + 4) + 8);
+        // Under a fault schedule the automatic budget is extended by the worst case the
+        // plan can cost (partitioned slots, crash outage, jitter per round) — a pure
+        // function of the spec, so the budget stays identical across threads/shards.
+        let max_slots = self.max_slots.unwrap_or_else(|| {
+            slots_per_round * (total_rounds + 4) + 8 + self.faults.slot_slack(total_rounds + 4)
+        });
 
         let mut net: SyncNetwork<WireMsg, MatchDecision> = SyncNetwork::new(
             self.setting.k(),
@@ -263,6 +271,9 @@ impl Scenario {
             net.corrupt(party)?;
         }
         net.set_adversary(adversary);
+        if self.faults != FaultSpec::NONE {
+            net.set_fault_injector(Box::new(FaultSchedule::new(self.faults, self.seed)));
+        }
 
         let outcome = net.run(max_slots)?;
         let signatures = env.pki.signatures_issued() - signatures_before;
@@ -327,6 +338,18 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a declarative fault plan (default: [`FaultSpec::NONE`]).
+    ///
+    /// The plan's stochastic axes draw from a stream derived from this scenario's
+    /// seed, distinct from the profile/adversary streams, and a non-`NONE` plan
+    /// extends the automatic slot budget by the plan's worst-case cost. Non-decision
+    /// under faults is legitimate data: the run reports `all_honest_decided = false`
+    /// instead of erroring.
+    pub fn faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Seeds profile generation and randomized adversaries (default: 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
@@ -379,6 +402,7 @@ impl ScenarioBuilder {
             profile,
             corrupted: self.corrupted,
             adversary: self.adversary,
+            faults: self.faults,
             seed: self.seed,
             max_slots: self.max_slots,
             env,
@@ -631,6 +655,23 @@ mod tests {
         let unauth = setting(3, Topology::Bipartite, AuthMode::Unauthenticated, 0, 1);
         let outcome = Scenario::builder(unauth).seed(9).build().unwrap().run().unwrap();
         assert_eq!(outcome.signatures, 0, "unauthenticated plans never sign");
+    }
+
+    #[test]
+    fn fault_schedules_run_deterministically() {
+        let setting = setting(3, Topology::FullyConnected, AuthMode::Authenticated, 1, 1);
+        let faults: FaultSpec = "partition=0+2;loss=100;jitter=1".parse().unwrap();
+        let run =
+            || Scenario::builder(setting).seed(5).faults(faults).build().unwrap().run().unwrap();
+        let (a, b) = (run(), run());
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.metrics, b.metrics);
+        assert_eq!(a.all_honest_decided, b.all_honest_decided);
+        assert!(
+            a.metrics.dropped_by_faults > 0,
+            "partition + loss must drop something: {:?}",
+            a.metrics
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //!
 //! A [`CampaignBuilder`] collects the values of every grid axis and expands their cross
 //! product into a [`Campaign`] — a `Vec<ScenarioSpec>` in the **canonical order**
-//! (size → topology → auth mode → corruption pair → adversary → seed). The canonical
+//! (size → topology → auth mode → corruption pair → adversary → fault plan → seed). The canonical
 //! order is the contract that makes parallel execution deterministic: the executor
 //! merges results back into this order no matter which thread finishes first, so the
 //! aggregated report and its exports are bit-identical across thread counts.
@@ -11,7 +11,7 @@ use crate::grid::{ScenarioSpec, ShardPlan};
 use bsm_core::harness::AdversarySpec;
 use bsm_core::problem::{AuthMode, Setting};
 use bsm_core::solvability::is_solvable;
-use bsm_net::Topology;
+use bsm_net::{FaultSpec, Topology};
 use std::fmt;
 use std::ops::Range;
 
@@ -88,7 +88,8 @@ impl fmt::Display for Campaign {
 /// Builder DSL for [`Campaign`]: set each grid axis, then [`build`](Self::build).
 ///
 /// Defaults: sizes `[3]`, every topology, every auth mode, the single corruption pair
-/// `(0, 0)`, every adversary strategy, seeds `0..1`, unsolvable cells included.
+/// `(0, 0)`, every adversary strategy, the single fault plan [`FaultSpec::NONE`],
+/// seeds `0..1`, unsolvable cells included.
 ///
 /// # Examples
 ///
@@ -114,6 +115,7 @@ pub struct CampaignBuilder {
     auth_modes: Vec<AuthMode>,
     corruptions: Vec<(usize, usize)>,
     adversaries: Vec<AdversarySpec>,
+    fault_plans: Vec<FaultSpec>,
     seeds: Range<u64>,
     skip_unsolvable: bool,
     shard: Option<ShardPlan>,
@@ -134,6 +136,7 @@ impl CampaignBuilder {
             auth_modes: AuthMode::ALL.to_vec(),
             corruptions: vec![(0, 0)],
             adversaries: AdversarySpec::ALL.to_vec(),
+            fault_plans: vec![FaultSpec::NONE],
             seeds: 0..1,
             skip_unsolvable: false,
             shard: None,
@@ -178,6 +181,14 @@ impl CampaignBuilder {
         self
     }
 
+    /// Fault plans to sweep — each plan is a first-class grid axis value, so a
+    /// campaign can compare e.g. a clean network against a partition-heal schedule
+    /// and a lossy link, cell by cell.
+    pub fn fault_plans(mut self, plans: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.fault_plans = plans.into_iter().collect();
+        self
+    }
+
     /// Seed range to sweep (one scenario per seed per cell).
     pub fn seeds(mut self, seeds: Range<u64>) -> Self {
         self.seeds = seeds;
@@ -202,7 +213,7 @@ impl CampaignBuilder {
     }
 
     /// Expands the cross product into a campaign, in canonical order:
-    /// size → topology → auth → corruption pair → adversary → seed.
+    /// size → topology → auth → corruption pair → adversary → fault plan → seed.
     ///
     /// Each axis is treated as a **set**: values are sorted and deduplicated before
     /// expansion, so the canonical order coincides exactly with the coordinate order
@@ -224,7 +235,7 @@ impl CampaignBuilder {
         }
         let (sizes, topologies) = (axis(&self.sizes), axis(&self.topologies));
         let (auth_modes, corruptions) = (axis(&self.auth_modes), axis(&self.corruptions));
-        let adversaries = axis(&self.adversaries);
+        let (adversaries, fault_plans) = (axis(&self.adversaries), axis(&self.fault_plans));
         let mut specs = Vec::new();
         for &k in &sizes {
             for &topology in &topologies {
@@ -237,16 +248,19 @@ impl CampaignBuilder {
                             continue;
                         }
                         for &adversary in &adversaries {
-                            for seed in self.seeds.clone() {
-                                specs.push(ScenarioSpec {
-                                    k,
-                                    topology,
-                                    auth,
-                                    t_l,
-                                    t_r,
-                                    adversary,
-                                    seed,
-                                });
+                            for &faults in &fault_plans {
+                                for seed in self.seeds.clone() {
+                                    specs.push(ScenarioSpec {
+                                        k,
+                                        topology,
+                                        auth,
+                                        t_l,
+                                        t_r,
+                                        adversary,
+                                        faults,
+                                        seed,
+                                    });
+                                }
                             }
                         }
                     }
@@ -359,6 +373,27 @@ mod tests {
         let mut sorted = canonical.specs().to_vec();
         sorted.sort_unstable();
         assert_eq!(sorted, canonical.specs());
+    }
+
+    #[test]
+    fn fault_plans_are_a_first_class_axis() {
+        let lossy: FaultSpec = "loss=100".parse().unwrap();
+        let campaign = CampaignBuilder::new()
+            .sizes([3])
+            .topologies([Topology::FullyConnected])
+            .auth_modes([AuthMode::Authenticated])
+            .adversaries([AdversarySpec::Crash])
+            .fault_plans([lossy, FaultSpec::NONE, lossy])
+            .seeds(0..2)
+            .build();
+        assert_eq!(campaign.len(), 4, "2 fault plans (deduped) × 2 seeds");
+        let coords: Vec<(FaultSpec, u64)> =
+            campaign.specs().iter().map(|s| (s.faults, s.seed)).collect();
+        // NONE sorts first; seeds vary faster than fault plans.
+        assert_eq!(
+            coords,
+            vec![(FaultSpec::NONE, 0), (FaultSpec::NONE, 1), (lossy, 0), (lossy, 1)]
+        );
     }
 
     #[test]

@@ -441,6 +441,7 @@ fn run_cell_instrumented(spec: ScenarioSpec) -> (CellRecord, CellTelemetry) {
                             messages: metrics.total_messages(),
                             delivered: metrics.delivered_messages,
                             dropped: metrics.dropped_by_faults,
+                            delayed: metrics.delayed_by_faults,
                             rejected: metrics.rejected_by_topology,
                             slots: metrics.slots,
                             fanout: metrics.fanout_by_role(&run.corrupted),
@@ -647,6 +648,7 @@ mod tests {
             t_l: 1,
             t_r: 1,
             adversary: AdversarySpec::Lying,
+            faults: bsm_net::FaultSpec::NONE,
             seed: 4,
         };
         let record = run_cell(solvable);

@@ -82,8 +82,8 @@ fn csv_field(s: &str) -> String {
 pub(crate) fn spec_fields_json(s: &ScenarioSpec) -> String {
     format!(
         "\"k\": {}, \"topology\": \"{}\", \"auth\": \"{}\", \"t_l\": {}, \"t_r\": {}, \
-         \"adversary\": \"{}\", \"seed\": {}",
-        s.k, s.topology, s.auth, s.t_l, s.t_r, s.adversary, s.seed
+         \"adversary\": \"{}\", \"faults\": \"{}\", \"seed\": {}",
+        s.k, s.topology, s.auth, s.t_l, s.t_r, s.adversary, s.faults, s.seed
     )
 }
 
@@ -152,6 +152,11 @@ pub fn cell_json(cell: &CellRecord) -> String {
 pub fn to_json(report: &CampaignReport) -> String {
     let mut out = String::new();
     out.push_str("{\n");
+    // The scenario header key comes first, and only when the report carries one, so
+    // scenario-less reports render byte-identically to pre-scenario exports.
+    if let Some(scenario) = report.scenario() {
+        let _ = writeln!(out, "  \"scenario\": \"{}\",", json_escape(scenario));
+    }
     let _ = writeln!(out, "  \"totals\": {},", totals_json(&report.totals()));
     out.push_str("  \"cells\": [\n");
     for (i, cell) in report.cells().iter().enumerate() {
@@ -168,7 +173,7 @@ pub fn to_json(report: &CampaignReport) -> String {
 
 /// The CSV header row shared by every export.
 pub const CSV_HEADER: &str =
-    "k,topology,auth,t_l,t_r,adversary,seed,status,plan,all_honest_decided,violations,slots,messages,signatures,detail";
+    "k,topology,auth,t_l,t_r,adversary,faults,seed,status,plan,all_honest_decided,violations,slots,messages,signatures,detail";
 
 /// Renders one cell as its [`to_csv`] row (no trailing newline).
 ///
@@ -206,13 +211,14 @@ pub fn csv_row(cell: &CellRecord) -> String {
         ),
     };
     format!(
-        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+        "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
         s.k,
         csv_field(&s.topology.to_string()),
         csv_field(&s.auth.to_string()),
         s.t_l,
         s.t_r,
         csv_field(&s.adversary.to_string()),
+        csv_field(&s.faults.to_string()),
         s.seed,
         cell.outcome.status(),
         csv_field(&plan),
@@ -247,12 +253,13 @@ pub enum StreamError {
     /// Writing to the underlying sink failed.
     Io(std::io::Error),
     /// A cell arrived at or before the previous cell's coordinates, breaking the
-    /// strictly-increasing canonical order the streamed formats require.
+    /// strictly-increasing canonical order the streamed formats require. (Boxed to
+    /// keep the `Err` variant small.)
     OutOfOrder {
         /// Coordinates of the previously written cell.
-        previous: ScenarioSpec,
+        previous: Box<ScenarioSpec>,
         /// Coordinates of the offending cell.
-        next: ScenarioSpec,
+        next: Box<ScenarioSpec>,
     },
     /// At [`MergedJsonWriter::finish`], the totals folded from the streamed cells
     /// disagree with the totals declared up front — a shard footer lied, or a shard
@@ -304,7 +311,10 @@ pub(crate) fn check_order(
 ) -> Result<(), StreamError> {
     if let Some(previous) = *last {
         if next <= previous {
-            return Err(StreamError::OutOfOrder { previous, next });
+            return Err(StreamError::OutOfOrder {
+                previous: Box::new(previous),
+                next: Box::new(next),
+            });
         }
     }
     *last = Some(next);
@@ -331,13 +341,21 @@ pub struct StreamingExporter<W: Write> {
     writer: W,
     totals: Totals,
     last: Option<ScenarioSpec>,
+    scenario: Option<String>,
 }
 
 impl<W: Write> StreamingExporter<W> {
     /// Starts a streamed export over `writer` (nothing is written until the first
     /// cell).
     pub fn new(writer: W) -> Self {
-        Self { writer, totals: Totals::default(), last: None }
+        Self { writer, totals: Totals::default(), last: None, scenario: None }
+    }
+
+    /// Tags the stream with a canonical scenario serialization, embedded in the
+    /// totals footer so `merge`/`diff` can reject mixed-scenario artifacts. Without
+    /// one, the footer stays byte-identical to the scenario-less format.
+    pub fn set_scenario(&mut self, scenario: impl Into<String>) {
+        self.scenario = Some(scenario.into());
     }
 
     /// Writes one cell line and folds it into the rolling totals.
@@ -364,7 +382,15 @@ impl<W: Write> StreamingExporter<W> {
     ///
     /// [`StreamError::Io`] on write or flush failure.
     pub fn finish(mut self) -> Result<Totals, StreamError> {
-        writeln!(self.writer, "{{\"totals\": {}}}", totals_json(&self.totals))?;
+        match &self.scenario {
+            Some(scenario) => writeln!(
+                self.writer,
+                "{{\"totals\": {}, \"scenario\": \"{}\"}}",
+                totals_json(&self.totals),
+                json_escape(scenario)
+            )?,
+            None => writeln!(self.writer, "{{\"totals\": {}}}", totals_json(&self.totals))?,
+        }
         self.writer.flush()?;
         Ok(self.totals)
     }
@@ -400,8 +426,27 @@ impl<W: Write> MergedJsonWriter<W> {
     /// # Errors
     ///
     /// [`StreamError::Io`] on write failure.
-    pub fn new(mut writer: W, totals: Totals) -> Result<Self, StreamError> {
-        write!(writer, "{{\n  \"totals\": {},\n  \"cells\": [\n", totals_json(&totals))?;
+    pub fn new(writer: W, totals: Totals) -> Result<Self, StreamError> {
+        Self::with_scenario(writer, totals, None)
+    }
+
+    /// Like [`new`](Self::new), with an optional canonical scenario serialization
+    /// rendered as the document's first key — matching [`to_json`] of a report tagged
+    /// via [`CampaignReport::with_scenario`](crate::report::CampaignReport::with_scenario).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] on write failure.
+    pub fn with_scenario(
+        mut writer: W,
+        totals: Totals,
+        scenario: Option<String>,
+    ) -> Result<Self, StreamError> {
+        writeln!(writer, "{{")?;
+        if let Some(scenario) = &scenario {
+            writeln!(writer, "  \"scenario\": \"{}\",", json_escape(scenario))?;
+        }
+        write!(writer, "  \"totals\": {},\n  \"cells\": [\n", totals_json(&totals))?;
         Ok(Self { writer, declared: totals, folded: Totals::default(), last: None, pending: None })
     }
 
@@ -635,6 +680,7 @@ mod tests {
             t_l: 0,
             t_r: 3,
             adversary: AdversarySpec::Lying,
+            faults: bsm_net::FaultSpec::NONE,
             seed: 1,
         };
         let cells = vec![
@@ -671,7 +717,7 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 4);
         assert_eq!(lines[0], CSV_HEADER);
-        assert!(lines[1].starts_with("3,bipartite,authenticated,0,3,lying,1,completed,"));
+        assert!(lines[1].starts_with("3,bipartite,authenticated,0,3,lying,none,1,completed,"));
         assert!(lines[2].contains("unsolvable"));
         assert!(lines[3].contains("\"sim, error\""), "{csv}");
         // Every row has the same column count (quotes respected).

@@ -8,7 +8,7 @@
 
 use bsm_core::harness::{AdversarySpec, HarnessError, Scenario, ScenarioOutcome};
 use bsm_core::problem::{AuthMode, Setting, SettingError};
-use bsm_net::Topology;
+use bsm_net::{FaultSpec, Topology};
 use std::fmt;
 use std::ops::Range;
 use std::str::FromStr;
@@ -20,7 +20,7 @@ use std::str::FromStr;
 /// the worker from the seed.
 ///
 /// The derived `Ord` (field order below: size, topology, auth, corruption pair,
-/// adversary, seed) **is** the canonical coordinate order — the order
+/// adversary, fault plan, seed) **is** the canonical coordinate order — the order
 /// [`CampaignBuilder::build`] expands in, [`CampaignReport::merge`] restores, the
 /// streaming writers enforce, and the k-way [`CellMerge`] yields. Reordering these
 /// fields would silently change every export; the determinism tests
@@ -44,7 +44,9 @@ pub struct ScenarioSpec {
     pub t_r: usize,
     /// Byzantine strategy of the corrupted parties.
     pub adversary: AdversarySpec,
-    /// Seed for profile generation and randomized adversaries.
+    /// Declarative fault plan (scheduled partitions, crash/recovery, loss, jitter).
+    pub faults: FaultSpec,
+    /// Seed for profile generation, randomized adversaries and fault draws.
     pub seed: u64,
 }
 
@@ -78,6 +80,7 @@ impl ScenarioSpec {
             .corrupt_left(left)
             .corrupt_right(right)
             .adversary(self.adversary)
+            .faults(self.faults)
             .build()
     }
 
@@ -224,8 +227,15 @@ impl fmt::Display for ScenarioSpec {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "k={} {} {} tL={} tR={} {} seed={}",
-            self.k, self.topology, self.auth, self.t_l, self.t_r, self.adversary, self.seed
+            "k={} {} {} tL={} tR={} {} faults={} seed={}",
+            self.k,
+            self.topology,
+            self.auth,
+            self.t_l,
+            self.t_r,
+            self.adversary,
+            self.faults,
+            self.seed
         )
     }
 }
@@ -242,6 +252,7 @@ mod tests {
             t_l: 1,
             t_r: 1,
             adversary: AdversarySpec::Crash,
+            faults: FaultSpec::NONE,
             seed: 7,
         }
     }
@@ -273,8 +284,16 @@ mod tests {
     #[test]
     fn display_names_every_axis() {
         let rendered = spec().to_string();
-        for needle in ["k=3", "fully-connected", "authenticated", "tL=1", "tR=1", "crash", "seed=7"]
-        {
+        for needle in [
+            "k=3",
+            "fully-connected",
+            "authenticated",
+            "tL=1",
+            "tR=1",
+            "crash",
+            "faults=none",
+            "seed=7",
+        ] {
             assert!(rendered.contains(needle), "missing {needle} in {rendered}");
         }
     }

@@ -42,7 +42,7 @@ use bsm_core::harness::AdversarySpec;
 use bsm_core::problem::AuthMode;
 use bsm_core::solvability::ProtocolPlan;
 use bsm_matching::Side;
-use bsm_net::Topology;
+use bsm_net::{FaultSpec, Topology};
 use std::fmt;
 use std::io::BufRead;
 
@@ -455,6 +455,9 @@ pub(crate) fn parse_spec(fields: &[(String, Value)]) -> Result<ScenarioSpec, Imp
         t_l: usize_field(fields, "t_l")?,
         t_r: usize_field(fields, "t_r")?,
         adversary: parse_adversary(string(fields, "adversary")?)?,
+        faults: string(fields, "faults")?
+            .parse::<FaultSpec>()
+            .map_err(|err| schema(err.to_string()))?,
         seed: number(fields, "seed")?,
     })
 }
@@ -526,7 +529,20 @@ pub fn from_json(json: &str) -> Result<CampaignReport, ImportError> {
         other => return Err(schema(format!("cells: expected array, found {}", other.type_name()))),
     };
     let cells = cells_value.iter().map(parse_cell).collect::<Result<Vec<_>, _>>()?;
-    let report = CampaignReport::new(cells);
+    let mut report = CampaignReport::new(cells);
+    // Reports exported from a declarative scenario file carry the canonical
+    // scenario text as an optional root key; scenario-less documents omit it.
+    if let Some((_, value)) = root.iter().find(|(key, _)| key == "scenario") {
+        match value {
+            Value::String(text) => report = report.with_scenario(text.clone()),
+            other => {
+                return Err(schema(format!(
+                    "scenario: expected string, found {}",
+                    other.type_name()
+                )))
+            }
+        }
+    }
     let totals_fields = as_object(field(&root, "totals")?, "totals")?;
     verify_totals(&totals_fields, report.totals())?;
     Ok(report)
@@ -536,25 +552,40 @@ pub fn from_json(json: &str) -> Result<CampaignReport, ImportError> {
 // Streaming import (JSON lines)
 // ---------------------------------------------------------------------------
 
-/// What a parsed stream line turned out to be.
+/// What a parsed stream line turned out to be. A footer optionally carries the
+/// canonical scenario text of the scenario file that produced the stream.
 #[derive(Debug)]
 enum StreamLine {
     Cell(CellRecord),
-    Footer(Totals),
+    Footer(Totals, Option<String>),
 }
 
 /// Parses one line of a streamed shard export: either a cell object or the
-/// `{"totals": {...}}` footer.
+/// `{"totals": {...}}` footer (with an optional trailing `"scenario"` tag for
+/// exports produced from a declarative scenario file).
 fn parse_stream_line(text: &str) -> Result<StreamLine, ImportError> {
     let value = Parser::new(text).parse_document()?;
     let fields = as_object(&value, "stream line")?;
-    if let [(key, totals_value)] = fields.as_slice() {
-        if key == "totals" {
+    match fields.as_slice() {
+        [(key, totals_value)] if key == "totals" => {
             let totals_fields = as_object(totals_value, "totals")?;
-            return Ok(StreamLine::Footer(parse_totals(&totals_fields)?));
+            Ok(StreamLine::Footer(parse_totals(&totals_fields)?, None))
         }
+        [(key, totals_value), (tag, tag_value)] if key == "totals" && tag == "scenario" => {
+            let totals_fields = as_object(totals_value, "totals")?;
+            let scenario = match tag_value {
+                Value::String(text) => text.clone(),
+                other => {
+                    return Err(schema(format!(
+                        "scenario: expected string, found {}",
+                        other.type_name()
+                    )))
+                }
+            };
+            Ok(StreamLine::Footer(parse_totals(&totals_fields)?, Some(scenario)))
+        }
+        _ => Ok(StreamLine::Cell(parse_cell(&value)?)),
     }
-    Ok(StreamLine::Cell(parse_cell(&value)?))
 }
 
 /// A lazy cell iterator over a streamed shard export — the inverse of
@@ -579,6 +610,7 @@ pub struct StreamingCells<R: BufRead> {
     line: usize,
     folded: Totals,
     last: Option<ScenarioSpec>,
+    scenario: Option<String>,
     state: StreamState,
 }
 
@@ -602,6 +634,7 @@ impl<R: BufRead> StreamingCells<R> {
             line: 0,
             folded: Totals::default(),
             last: None,
+            scenario: None,
             state: StreamState::Cells,
         }
     }
@@ -615,6 +648,13 @@ impl<R: BufRead> StreamingCells<R> {
     /// `true` once the totals footer has been read and verified.
     pub fn finished(&self) -> bool {
         self.state == StreamState::Done
+    }
+
+    /// The canonical scenario text carried by the footer, for streams exported from a
+    /// declarative scenario file. `None` until the footer has been read, and for
+    /// scenario-less streams.
+    pub fn scenario(&self) -> Option<&str> {
+        self.scenario.as_deref()
     }
 
     /// Fails the stream: fuses the iterator and yields `err`.
@@ -672,7 +712,7 @@ impl<R: BufRead> Iterator for StreamingCells<R> {
             }
         };
         match parsed {
-            StreamLine::Footer(declared) => {
+            StreamLine::Footer(declared, scenario) => {
                 if declared != self.folded {
                     let (folded, line) = (self.folded, self.line);
                     return self.fail(ImportError::Stream {
@@ -695,6 +735,7 @@ impl<R: BufRead> Iterator for StreamingCells<R> {
                         }
                     }
                 }
+                self.scenario = scenario;
                 self.state = StreamState::Done;
                 None
             }
@@ -780,21 +821,22 @@ impl<R: BufRead> StreamingCells<R> {
     }
 }
 
-/// Reads just the totals footer of a streamed shard export in one constant-memory
-/// forward pass: cell lines are skipped without being parsed (or allocated — two
-/// line buffers are reused across the whole file), and only the last non-empty line
-/// is interpreted.
+/// Reads just the totals footer of a streamed shard export — and the scenario tag it
+/// carries, if any — in one constant-memory forward pass: cell lines are skipped
+/// without being parsed (or allocated — two line buffers are reused across the whole
+/// file), and only the last non-empty line is interpreted.
 ///
 /// This is how a merge coordinator learns the merged totals *before* streaming any
 /// cell: sum the footers of all shards, hand the sum to
 /// [`crate::export::MergedJsonWriter::new`], and let the writer's finish-time
-/// verification catch any footer that lied.
+/// verification catch any footer that lied. The scenario tag is what lets the
+/// coordinator refuse to merge shards produced from different scenario files.
 ///
 /// # Errors
 ///
 /// [`ImportError::Io`] on read failure, [`ImportError::Stream`] when the stream is
 /// empty or its last line is not a well-formed `{"totals": {...}}` footer.
-pub fn footer_totals<R: BufRead>(mut reader: R) -> Result<Totals, ImportError> {
+pub fn footer_meta<R: BufRead>(mut reader: R) -> Result<(Totals, Option<String>), ImportError> {
     let mut buf = String::new();
     let mut last = String::new();
     let (mut line, mut last_line) = (0usize, 0usize);
@@ -817,7 +859,7 @@ pub fn footer_totals<R: BufRead>(mut reader: R) -> Result<Totals, ImportError> {
         });
     }
     match parse_stream_line(last.trim_end_matches(['\n', '\r'])) {
-        Ok(StreamLine::Footer(totals)) => Ok(totals),
+        Ok(StreamLine::Footer(totals, scenario)) => Ok((totals, scenario)),
         Ok(StreamLine::Cell(_)) => Err(ImportError::Stream {
             line: last_line,
             message: "stream ends in a cell line, not a totals footer (truncated export?)".into(),
@@ -826,16 +868,33 @@ pub fn footer_totals<R: BufRead>(mut reader: R) -> Result<Totals, ImportError> {
     }
 }
 
+/// [`footer_meta`] without the scenario tag — the totals-only convenience most
+/// callers (and pre-scenario code) want.
+///
+/// # Errors
+///
+/// Exactly those of [`footer_meta`].
+pub fn footer_totals<R: BufRead>(reader: R) -> Result<Totals, ImportError> {
+    footer_meta(reader).map(|(totals, _)| totals)
+}
+
 /// Collects a whole streamed shard export into an in-memory [`CampaignReport`] —
 /// the convenience path for tools (e.g. `campaign_ctl diff`) that want to treat a
-/// `.jsonl` export like a `.json` one and do not care about memory.
+/// `.jsonl` export like a `.json` one and do not care about memory. A scenario tag
+/// in the stream's footer is carried onto the report, exactly as [`from_json`]
+/// carries a document's `"scenario"` key.
 ///
 /// # Errors
 ///
 /// Any error [`StreamingCells`] yields.
 pub fn from_jsonl<R: BufRead>(reader: R) -> Result<CampaignReport, ImportError> {
-    let cells = StreamingCells::new(reader).collect::<Result<Vec<_>, _>>()?;
-    Ok(CampaignReport::new(cells))
+    let mut stream = StreamingCells::new(reader);
+    let cells = stream.by_ref().collect::<Result<Vec<_>, _>>()?;
+    let report = CampaignReport::new(cells);
+    Ok(match stream.scenario() {
+        Some(tag) => report.with_scenario(tag.to_string()),
+        None => report,
+    })
 }
 
 #[cfg(test)]
@@ -1005,6 +1064,39 @@ mod tests {
     }
 
     #[test]
+    fn scenario_tagged_footers_and_documents_carry_the_tag() {
+        let tag = "name = \"demo\"\n";
+        // Streamed form: the footer's second key survives a full read and footer_meta.
+        let campaign = CampaignBuilder::new().sizes([2]).build();
+        let (report, _) = Executor::new().threads(1).run(&campaign);
+        let report = report.with_scenario(tag);
+        let mut buf = Vec::new();
+        let mut exporter = StreamingExporter::new(&mut buf);
+        exporter.set_scenario(tag);
+        for cell in report.cells() {
+            exporter.write_cell(cell).unwrap();
+        }
+        exporter.finish().unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let mut stream = StreamingCells::new(text.as_bytes());
+        let cells: Vec<CellRecord> = (&mut stream).collect::<Result<_, _>>().unwrap();
+        assert_eq!(cells, report.cells());
+        assert_eq!(stream.scenario(), Some(tag));
+        let (totals, scenario) = footer_meta(text.as_bytes()).unwrap();
+        assert_eq!(totals, report.totals());
+        assert_eq!(scenario.as_deref(), Some(tag));
+        // Document form: the root "scenario" key round-trips through from_json.
+        let imported = from_json(&to_json(&report)).unwrap();
+        assert_eq!(imported.scenario(), Some(tag));
+        assert_eq!(imported, report);
+        assert_eq!(to_json(&imported), to_json(&report));
+        // from_jsonl carries the footer tag onto the collected report too.
+        let collected = from_jsonl(text.as_bytes()).unwrap();
+        assert_eq!(collected.scenario(), Some(tag));
+        assert_eq!(collected, report);
+    }
+
+    #[test]
     fn empty_shard_stream_is_just_a_zero_footer() {
         let mut buf = Vec::new();
         let exporter = StreamingExporter::new(&mut buf);
@@ -1155,6 +1247,11 @@ mod tests {
             "comma, separated, value",
             "",
         ];
+        let fault_choices: [FaultSpec; 3] = [
+            FaultSpec::NONE,
+            "partition=2+3;loss=125".parse().unwrap(),
+            "crash=L1@4..9;jitter=2".parse().unwrap(),
+        ];
         let mut cells = Vec::new();
         for i in 0..200u64 {
             let spec = ScenarioSpec {
@@ -1164,6 +1261,7 @@ mod tests {
                 t_l: next(3) as usize,
                 t_r: next(3) as usize,
                 adversary: AdversarySpec::ALL[next(3) as usize],
+                faults: fault_choices[next(3) as usize],
                 seed: i,
             };
             let outcome = match next(3) {

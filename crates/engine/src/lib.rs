@@ -23,6 +23,11 @@
 //!   export lazily with [`StreamingCells`],
 //! * [`diff`] — [`CampaignDiff`]: cell-level comparison of two reports, rendering
 //!   only the differing cells,
+//! * [`scenario_file`] — [`ScenarioFile`]: the declarative TOML-subset scenario
+//!   format behind `campaign_ctl run --scenario FILE` (see `docs/SCENARIOS.md`);
+//!   a file names the grid axes plus a schedule of network faults (partitions,
+//!   crash/recovery, loss, jitter), each fault plan a first-class campaign axis,
+//!   and its canonical rendering is the scenario tag embedded in report artifacts,
 //! * [`progress`] — an optional scenarios/sec + ETA reporter on stderr,
 //! * [`telemetry`] — the observability side channel: per-cell attributed cost
 //!   records ([`CellTelemetry`]) streamed to a `metrics.jsonl` sidecar, log-bucketed
@@ -140,6 +145,7 @@ pub mod grid;
 pub mod import;
 pub mod progress;
 pub mod report;
+pub mod scenario_file;
 pub mod telemetry;
 
 pub use bench::BenchSnapshot;
@@ -152,13 +158,14 @@ pub use export::{
 };
 pub use grid::{ScenarioSpec, ShardPlan, ShardPlanError};
 pub use import::{
-    footer_totals, from_json, from_jsonl, ImportError, SalvagedPrefix, StreamingCells,
+    footer_meta, footer_totals, from_json, from_jsonl, ImportError, SalvagedPrefix, StreamingCells,
 };
 pub use progress::Progress;
 pub use report::{
     CampaignReport, CellMerge, CellMergeError, CellOutcome, CellRecord, CellStats, ExecutionStats,
     MergeError, Totals,
 };
+pub use scenario_file::{ScenarioError, ScenarioFile};
 pub use telemetry::{
     parse_progress, parse_telemetry_line, CampaignStats, CellTelemetry, Heartbeat, Histogram,
     ProgressSnapshot, TelemetryCells, TelemetryExporter,

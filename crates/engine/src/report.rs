@@ -172,6 +172,7 @@ impl fmt::Display for Totals {
 pub struct CampaignReport {
     cells: Vec<CellRecord>,
     totals: Totals,
+    scenario: Option<String>,
 }
 
 impl CampaignReport {
@@ -181,14 +182,29 @@ impl CampaignReport {
         for cell in &cells {
             totals.record(&cell.outcome);
         }
-        Self { cells, totals }
+        Self { cells, totals, scenario: None }
+    }
+
+    /// Tags the report with the canonical serialization of the scenario file it was
+    /// run from. The tag is embedded in exports (as the JSON document's first key and
+    /// the JSONL footer) and checked by [`merge`](Self::merge), so artifacts from
+    /// different scenarios can never be silently combined.
+    #[must_use]
+    pub fn with_scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.scenario = Some(scenario.into());
+        self
+    }
+
+    /// The canonical scenario serialization this report is tagged with, if any.
+    pub fn scenario(&self) -> Option<&str> {
+        self.scenario.as_deref()
     }
 
     /// Recombines shard reports into one report in canonical coordinate order.
     ///
     /// The shards may be given in any order: cells are re-sorted by their grid
     /// coordinates (the same nesting the canonical expansion uses — size, topology,
-    /// auth, corruption pair, adversary, seed) and the totals are recomputed from the
+    /// auth, corruption pair, adversary, fault plan, seed) and the totals are recomputed from the
     /// union. [`CampaignBuilder::build`] normalizes its axes so expansion order *is*
     /// coordinate order, which makes exporting the merged report reproduce the
     /// unsharded `to_json`/`to_csv` documents byte for byte. (A hand-assembled
@@ -217,15 +233,30 @@ impl CampaignReport {
     /// # Errors
     ///
     /// [`MergeError::DuplicateCell`] when two shards carry the same coordinates —
-    /// overlapping shard ranges, or the same shard imported twice.
+    /// overlapping shard ranges, or the same shard imported twice — and
+    /// [`MergeError::ScenarioMismatch`] when the shards carry different scenario tags
+    /// (the common tag, if any, is propagated to the merged report).
     pub fn merge(shards: impl IntoIterator<Item = CampaignReport>) -> Result<Self, MergeError> {
+        let shards: Vec<CampaignReport> = shards.into_iter().collect();
+        let mut scenario: Option<String> = None;
+        for (i, shard) in shards.iter().enumerate() {
+            if i > 0 && shard.scenario != scenario {
+                return Err(MergeError::ScenarioMismatch {
+                    first: scenario,
+                    other: shard.scenario.clone(),
+                });
+            }
+            scenario.clone_from(&shard.scenario);
+        }
         let mut cells: Vec<CellRecord> =
             shards.into_iter().flat_map(|report| report.cells).collect();
         cells.sort_by_key(|cell| cell.spec);
         if let Some(dup) = cells.windows(2).find(|pair| pair[0].spec == pair[1].spec) {
             return Err(MergeError::DuplicateCell(dup[0].spec));
         }
-        Ok(Self::new(cells))
+        let mut merged = Self::new(cells);
+        merged.scenario = scenario;
+        Ok(merged)
     }
 
     /// The per-cell records, in canonical order.
@@ -244,6 +275,14 @@ impl CampaignReport {
 pub enum MergeError {
     /// Two shards carried a cell with the same grid coordinates.
     DuplicateCell(ScenarioSpec),
+    /// Shards carried different scenario tags — artifacts of different scenario files
+    /// (or a mix of tagged and untagged artifacts) must not be combined.
+    ScenarioMismatch {
+        /// The scenario tag of the first shard(s).
+        first: Option<String>,
+        /// The conflicting tag.
+        other: Option<String>,
+    },
 }
 
 impl fmt::Display for MergeError {
@@ -251,6 +290,18 @@ impl fmt::Display for MergeError {
         match self {
             MergeError::DuplicateCell(spec) => {
                 write!(f, "duplicate cell across shards: {spec}")
+            }
+            MergeError::ScenarioMismatch { first, other } => {
+                let name = |s: &Option<String>| match s {
+                    Some(tag) => format!("{tag:?}"),
+                    None => "no scenario tag".to_string(),
+                };
+                write!(
+                    f,
+                    "shards come from different scenarios: {} vs {}",
+                    name(first),
+                    name(other)
+                )
             }
         }
     }
@@ -478,6 +529,7 @@ mod tests {
             t_l: 0,
             t_r: 0,
             adversary: AdversarySpec::Crash,
+            faults: bsm_net::FaultSpec::NONE,
             seed: 0,
         }
     }
@@ -558,6 +610,26 @@ mod tests {
         let err = CampaignReport::merge(shards).unwrap_err();
         assert_eq!(err, MergeError::DuplicateCell(spec()));
         assert!(err.to_string().contains("duplicate cell"));
+    }
+
+    #[test]
+    fn merge_rejects_mixed_scenario_tags_and_propagates_a_common_one() {
+        let mut late = completed(0);
+        late.spec.seed = 9;
+        let tagged =
+            |cell: CellRecord| CampaignReport::new(vec![cell]).with_scenario("name = \"x\"");
+        // Tagged + untagged is a mismatch.
+        let err = CampaignReport::merge(vec![
+            tagged(completed(0)),
+            CampaignReport::new(vec![late.clone()]),
+        ])
+        .unwrap_err();
+        assert!(matches!(err, MergeError::ScenarioMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("different scenarios"), "{err}");
+        // Same tag everywhere merges and keeps the tag.
+        let merged = CampaignReport::merge(vec![tagged(completed(0)), tagged(late)]).unwrap();
+        assert_eq!(merged.scenario(), Some("name = \"x\""));
+        assert_eq!(merged.totals().scenarios, 2);
     }
 
     #[test]

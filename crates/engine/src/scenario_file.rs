@@ -1,0 +1,988 @@
+//! Declarative scenario files: a hand-rolled TOML-subset reader for campaign
+//! descriptions (no external dependencies, like every parser in this workspace).
+//!
+//! A scenario file names a whole campaign declaratively — party counts, topologies,
+//! auth models, adversaries, seed count, and a schedule of network faults — so an
+//! experiment is a reviewable artifact instead of a command line. `campaign_ctl run
+//! --scenario FILE` loads one, and the format is specified key by key in
+//! `docs/SCENARIOS.md` (whose worked examples are the literal files under
+//! `examples/scenarios/`, parsed verbatim by `crates/engine/tests/scenario_file.rs`).
+//!
+//! # The TOML subset
+//!
+//! The reader accepts exactly what the format needs and nothing more:
+//!
+//! * blank lines and `#` comments (full-line or trailing),
+//! * `key = value` pairs, where a value is a double-quoted string (with `\"` and
+//!   `\\` escapes), a non-negative integer, or a (possibly nested) `[...]` array,
+//! * a `[grid]` table for the campaign axes,
+//! * `[[faults]]` array-of-tables entries, one per fault plan on the fault axis.
+//!
+//! Everything else — floats, dotted keys, inline tables, multi-line strings — is
+//! rejected with a line-positioned [`ScenarioError`], as are unknown keys, duplicate
+//! keys and semantically invalid fault plans (e.g. overlapping partition windows).
+//!
+//! # Canonical form
+//!
+//! [`ScenarioFile::canonical`] renders the parsed file back as fully-explicit text:
+//! every grid axis appears with its resolved, sorted, deduplicated values, and every
+//! fault plan renders only its non-default keys. Canonicalization is a *fixpoint*
+//! (`parse ∘ canonical ∘ parse = parse ∘ canonical ∘ parse ∘ canonical ∘ parse`) and
+//! the canonical text is what report artifacts embed as their scenario tag — two
+//! artifacts carry byte-equal tags exactly when they describe the same campaign, which
+//! is how `campaign_ctl merge` and `diff` refuse to combine mixed-scenario artifacts.
+
+use crate::campaign::{Campaign, CampaignBuilder};
+use bsm_core::harness::AdversarySpec;
+use bsm_core::problem::AuthMode;
+use bsm_net::{CrashWindow, FaultSpec, PartitionWindow, PartyId, Topology};
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A line-positioned scenario-file error: what went wrong and where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioError {
+    /// 1-based line number of the offending line (0: the error is not tied to one
+    /// line, e.g. a missing required key or an unreadable file).
+    pub line: usize,
+    /// What went wrong, in terms of the format reference (`docs/SCENARIOS.md`).
+    pub message: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.line {
+            0 => write!(f, "scenario file error: {}", self.message),
+            line => write!(f, "scenario file error at line {line}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+fn err_at(line: usize, message: impl Into<String>) -> ScenarioError {
+    ScenarioError { line, message: message.into() }
+}
+
+/// A parsed scenario file: one declarative campaign description.
+///
+/// Axis vectors are resolved (defaults applied), sorted and deduplicated at parse
+/// time, so two files describing the same campaign parse to equal values and render
+/// the same [`canonical`](Self::canonical) text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioFile {
+    /// The scenario's name (required; informational, carried into the canonical
+    /// form but not into any grid coordinate).
+    pub name: String,
+    /// Market sizes to sweep (`[grid] sizes`; default `[3]`).
+    pub sizes: Vec<usize>,
+    /// Topologies to sweep (`[grid] topologies`; default: all).
+    pub topologies: Vec<Topology>,
+    /// Authentication modes to sweep (`[grid] auth`; default: all).
+    pub auth: Vec<AuthMode>,
+    /// Corruption pairs `(tL, tR)` to sweep (`[grid] corruptions`; default `[[0, 0]]`).
+    pub corruptions: Vec<(usize, usize)>,
+    /// Byzantine strategies to sweep (`[grid] adversaries`; default: all).
+    pub adversaries: Vec<AdversarySpec>,
+    /// Number of seeds to sweep — the campaign runs seeds `0..seeds`
+    /// (`[grid] seeds`; default 1).
+    pub seeds: u64,
+    /// Fault plans to sweep, one per `[[faults]]` table; `[FaultSpec::NONE]` when
+    /// the file declares none (a bare `[[faults]]` table *is* the fault-free plan).
+    pub faults: Vec<FaultSpec>,
+}
+
+impl ScenarioFile {
+    /// Parses a scenario file from its text.
+    ///
+    /// # Errors
+    ///
+    /// A line-positioned [`ScenarioError`] for anything outside the format: syntax
+    /// outside the TOML subset, unknown or duplicate keys, values of the wrong type,
+    /// unknown axis names, and invalid fault plans (zero-duration or overlapping
+    /// partitions, a crash recovery not after its start, a loss rate above 1000‰).
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// use bsm_engine::ScenarioFile;
+    ///
+    /// let scenario = ScenarioFile::parse(
+    ///     "name = \"partition demo\"\n\
+    ///      \n\
+    ///      [grid]\n\
+    ///      sizes = [3]\n\
+    ///      adversaries = [\"crash\"]\n\
+    ///      seeds = 2\n\
+    ///      \n\
+    ///      [[faults]]\n\
+    ///      partitions = [[2, 3]]  # slots 2..5 cut every cross-side link\n\
+    ///      loss = 50              # plus 5% seeded message loss\n",
+    /// )
+    /// .unwrap();
+    /// assert_eq!(scenario.name, "partition demo");
+    /// assert_eq!(scenario.faults.len(), 1);
+    /// // 1 size × 3 topologies × 2 auth modes × 1 corruption pair × 1 adversary
+    /// // × 1 fault plan × 2 seeds:
+    /// assert_eq!(scenario.campaign().len(), 12);
+    /// // Canonicalization is a fixpoint: re-parsing the canonical text is identity.
+    /// let canonical = scenario.canonical();
+    /// assert_eq!(ScenarioFile::parse(&canonical).unwrap().canonical(), canonical);
+    /// ```
+    pub fn parse(text: &str) -> Result<Self, ScenarioError> {
+        Parser::new(text).parse()
+    }
+
+    /// Reads and parses a scenario file from disk.
+    ///
+    /// # Errors
+    ///
+    /// A [`ScenarioError`] at line 0 when the file cannot be read; otherwise exactly
+    /// the errors of [`parse`](Self::parse).
+    pub fn load(path: &Path) -> Result<Self, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|err| err_at(0, format!("cannot read {}: {err}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Renders the fully-explicit canonical form: every grid axis with its resolved,
+    /// sorted values; every fault plan with only its non-default keys; no comments.
+    ///
+    /// This text is the scenario tag embedded in report artifacts (see
+    /// [`crate::report::CampaignReport::with_scenario`]): byte-equal tags ⇔ same
+    /// campaign.
+    pub fn canonical(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "name = \"{}\"", escape(&self.name));
+        let _ = writeln!(out);
+        let _ = writeln!(out, "[grid]");
+        let _ = writeln!(out, "sizes = {}", render_ints(self.sizes.iter().map(|&k| k as u64)));
+        let _ = writeln!(
+            out,
+            "topologies = {}",
+            render_names(self.topologies.iter().map(|t| t.name()))
+        );
+        let _ = writeln!(out, "auth = {}", render_names(self.auth.iter().map(|a| a.name())));
+        let pairs: Vec<String> =
+            self.corruptions.iter().map(|&(l, r)| format!("[{l}, {r}]")).collect();
+        let _ = writeln!(out, "corruptions = [{}]", pairs.join(", "));
+        let _ = writeln!(
+            out,
+            "adversaries = {}",
+            render_names(self.adversaries.iter().map(|a| a.name()))
+        );
+        let _ = writeln!(out, "seeds = {}", self.seeds);
+        if self.faults != [FaultSpec::NONE] {
+            for plan in &self.faults {
+                let _ = writeln!(out);
+                let _ = writeln!(out, "[[faults]]");
+                if plan.partition_windows().next().is_some() {
+                    let windows: Vec<String> = plan
+                        .partition_windows()
+                        .map(|w| format!("[{}, {}]", w.start, w.duration))
+                        .collect();
+                    let _ = writeln!(out, "partitions = [{}]", windows.join(", "));
+                }
+                if let Some(crash) = plan.crash {
+                    let _ = writeln!(out, "crash_party = \"{}\"", crash.party);
+                    let _ = writeln!(out, "crash_start = {}", crash.start);
+                    if let Some(recovery) = crash.recovery {
+                        let _ = writeln!(out, "crash_recovery = {recovery}");
+                    }
+                }
+                if plan.loss_permille > 0 {
+                    let _ = writeln!(out, "loss = {}", plan.loss_permille);
+                }
+                if plan.jitter > 0 {
+                    let _ = writeln!(out, "jitter = {}", plan.jitter);
+                }
+            }
+        }
+        out
+    }
+
+    /// Expands the scenario into its [`Campaign`] — the same canonical-order work
+    /// list a [`CampaignBuilder`] with these axes produces.
+    pub fn campaign(&self) -> Campaign {
+        CampaignBuilder::new()
+            .sizes(self.sizes.iter().copied())
+            .topologies(self.topologies.iter().copied())
+            .auth_modes(self.auth.iter().copied())
+            .corruptions(self.corruptions.iter().copied())
+            .adversaries(self.adversaries.iter().copied())
+            .fault_plans(self.faults.iter().copied())
+            .seeds(0..self.seeds)
+            .build()
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            other => vec![other],
+        })
+        .collect()
+}
+
+fn render_ints(values: impl Iterator<Item = u64>) -> String {
+    let items: Vec<String> = values.map(|v| v.to_string()).collect();
+    format!("[{}]", items.join(", "))
+}
+
+fn render_names<'a>(names: impl Iterator<Item = &'a str>) -> String {
+    let items: Vec<String> = names.map(|n| format!("\"{n}\"")).collect();
+    format!("[{}]", items.join(", "))
+}
+
+// ---------------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------------
+
+/// A parsed value of the TOML subset: string, non-negative integer, or array.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TomlValue {
+    String(String),
+    Integer(u64),
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::String(_) => "string",
+            TomlValue::Integer(_) => "integer",
+            TomlValue::Array(_) => "array",
+        }
+    }
+}
+
+/// A character cursor over one line's value text.
+struct ValueCursor<'a> {
+    rest: &'a str,
+    line: usize,
+}
+
+impl<'a> ValueCursor<'a> {
+    fn skip_spaces(&mut self) {
+        self.rest = self.rest.trim_start_matches([' ', '\t']);
+    }
+
+    fn parse_value(&mut self) -> Result<TomlValue, ScenarioError> {
+        self.skip_spaces();
+        match self.rest.chars().next() {
+            Some('"') => self.parse_string(),
+            Some('[') => self.parse_array(),
+            Some(c) if c.is_ascii_digit() => self.parse_integer(),
+            _ => Err(err_at(
+                self.line,
+                format!("expected a string, integer or array, found {:?}", self.rest),
+            )),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<TomlValue, ScenarioError> {
+        let mut chars = self.rest.char_indices();
+        chars.next(); // the opening quote
+        let mut out = String::new();
+        while let Some((index, c)) = chars.next() {
+            match c {
+                '"' => {
+                    self.rest = &self.rest[index + 1..];
+                    return Ok(TomlValue::String(out));
+                }
+                '\\' => match chars.next() {
+                    Some((_, '"')) => out.push('"'),
+                    Some((_, '\\')) => out.push('\\'),
+                    other => {
+                        return Err(err_at(
+                            self.line,
+                            format!(
+                                "unsupported string escape \\{}",
+                                other.map(|(_, c)| c.to_string()).unwrap_or_default()
+                            ),
+                        ));
+                    }
+                },
+                other => out.push(other),
+            }
+        }
+        Err(err_at(self.line, "unterminated string"))
+    }
+
+    fn parse_integer(&mut self) -> Result<TomlValue, ScenarioError> {
+        let digits: String = self.rest.chars().take_while(char::is_ascii_digit).collect();
+        if digits.len() > 1 && digits.starts_with('0') {
+            return Err(err_at(self.line, format!("integer {digits} has leading zeros")));
+        }
+        let value = digits
+            .parse::<u64>()
+            .map_err(|_| err_at(self.line, format!("integer {digits} is out of range")))?;
+        self.rest = &self.rest[digits.len()..];
+        Ok(TomlValue::Integer(value))
+    }
+
+    fn parse_array(&mut self) -> Result<TomlValue, ScenarioError> {
+        self.rest = &self.rest[1..]; // the opening bracket
+        let mut items = Vec::new();
+        loop {
+            self.skip_spaces();
+            if let Some(rest) = self.rest.strip_prefix(']') {
+                self.rest = rest;
+                return Ok(TomlValue::Array(items));
+            }
+            if !items.is_empty() {
+                let Some(rest) = self.rest.strip_prefix(',') else {
+                    return Err(err_at(
+                        self.line,
+                        format!("expected ',' or ']' in array, found {:?}", self.rest),
+                    ));
+                };
+                self.rest = rest;
+                self.skip_spaces();
+                // A single trailing comma before the closing bracket is accepted.
+                if let Some(rest) = self.rest.strip_prefix(']') {
+                    self.rest = rest;
+                    return Ok(TomlValue::Array(items));
+                }
+            }
+            items.push(self.parse_value()?);
+        }
+    }
+}
+
+/// Parses the text after `key =` as one value followed only by spaces or a comment.
+fn parse_line_value(text: &str, line: usize) -> Result<TomlValue, ScenarioError> {
+    let mut cursor = ValueCursor { rest: text, line };
+    let value = cursor.parse_value()?;
+    cursor.skip_spaces();
+    if !(cursor.rest.is_empty() || cursor.rest.starts_with('#')) {
+        return Err(err_at(line, format!("unexpected trailing content {:?}", cursor.rest)));
+    }
+    Ok(value)
+}
+
+// ---------------------------------------------------------------------------
+// The file parser
+// ---------------------------------------------------------------------------
+
+/// Which table the parser is currently inside.
+enum Section {
+    Top,
+    Grid,
+    Faults(FaultTable),
+}
+
+/// The raw fields of one `[[faults]]` table, finalized into a [`FaultSpec`] when the
+/// table ends.
+struct FaultTable {
+    /// Line of the `[[faults]]` header (where whole-plan errors are positioned).
+    header_line: usize,
+    partitions: Option<(Vec<PartitionWindow>, usize)>,
+    crash_party: Option<(PartyId, usize)>,
+    crash_start: Option<(u32, usize)>,
+    crash_recovery: Option<(u32, usize)>,
+    loss: Option<(u16, usize)>,
+    jitter: Option<(u8, usize)>,
+}
+
+impl FaultTable {
+    fn new(header_line: usize) -> Self {
+        Self {
+            header_line,
+            partitions: None,
+            crash_party: None,
+            crash_start: None,
+            crash_recovery: None,
+            loss: None,
+            jitter: None,
+        }
+    }
+
+    /// Builds and validates the [`FaultSpec`], positioning each error at the key
+    /// that caused it (falling back to the table header for cross-key problems).
+    fn finalize(self) -> Result<FaultSpec, ScenarioError> {
+        let mut spec = FaultSpec::NONE;
+        if let Some((windows, line)) = &self.partitions {
+            let mut windows = windows.clone();
+            windows.sort_unstable();
+            for (slot, window) in windows.iter().enumerate() {
+                spec.partitions[slot] = Some(*window);
+            }
+            spec.validate().map_err(|message| err_at(*line, message))?;
+        }
+        spec.crash = match (self.crash_party, self.crash_start) {
+            (Some((party, _)), Some((start, _))) => {
+                Some(CrashWindow { party, start, recovery: self.crash_recovery.map(|(r, _)| r) })
+            }
+            (None, None) => {
+                if let Some((_, line)) = self.crash_recovery {
+                    return Err(err_at(line, "crash_recovery without crash_party/crash_start"));
+                }
+                None
+            }
+            (Some(_), None) | (None, Some(_)) => {
+                return Err(err_at(
+                    self.header_line,
+                    "crash_party and crash_start must be given together",
+                ));
+            }
+        };
+        spec.loss_permille = self.loss.map(|(v, _)| v).unwrap_or(0);
+        spec.jitter = self.jitter.map(|(v, _)| v).unwrap_or(0);
+        let fallback = self.crash_recovery.map(|(_, line)| line).unwrap_or(self.header_line);
+        spec.validate().map_err(|message| err_at(fallback, message))?;
+        Ok(spec)
+    }
+}
+
+/// The grid axes as parsed (before defaults are applied).
+#[derive(Default)]
+struct GridTable {
+    sizes: Option<Vec<usize>>,
+    topologies: Option<Vec<Topology>>,
+    auth: Option<Vec<AuthMode>>,
+    corruptions: Option<Vec<(usize, usize)>>,
+    adversaries: Option<Vec<AdversarySpec>>,
+    seeds: Option<u64>,
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    section: Section,
+    name: Option<String>,
+    grid: GridTable,
+    faults: Vec<FaultSpec>,
+    saw_faults_table: bool,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            text,
+            section: Section::Top,
+            name: None,
+            grid: GridTable::default(),
+            faults: Vec::new(),
+            saw_faults_table: false,
+        }
+    }
+
+    fn parse(mut self) -> Result<ScenarioFile, ScenarioError> {
+        for (index, raw) in self.text.lines().enumerate() {
+            let line = index + 1;
+            let trimmed = raw.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            if trimmed == "[[faults]]" {
+                self.close_section()?;
+                self.section = Section::Faults(FaultTable::new(line));
+                self.saw_faults_table = true;
+                continue;
+            }
+            if trimmed == "[grid]" {
+                self.close_section()?;
+                if self.saw_faults_table {
+                    // One [grid] table, before the fault plans: keeps the canonical
+                    // rendering's section order the only accepted order.
+                    return Err(err_at(line, "[grid] must come before any [[faults]] table"));
+                }
+                self.section = Section::Grid;
+                continue;
+            }
+            if trimmed.starts_with('[') {
+                return Err(err_at(line, format!("unknown table {trimmed:?}")));
+            }
+            let Some((key, value_text)) = trimmed.split_once('=') else {
+                return Err(err_at(line, format!("expected key = value, found {trimmed:?}")));
+            };
+            let key = key.trim();
+            let value = parse_line_value(value_text.trim(), line)?;
+            match &mut self.section {
+                Section::Top => self.top_key(key, value, line)?,
+                Section::Grid => self.grid_key(key, value, line)?,
+                Section::Faults(_) => self.fault_key(key, value, line)?,
+            }
+        }
+        self.close_section()?;
+        self.finish()
+    }
+
+    /// Finalizes a `[[faults]]` table when a new section starts or the file ends.
+    fn close_section(&mut self) -> Result<(), ScenarioError> {
+        if let Section::Faults(_) = &self.section {
+            let Section::Faults(table) = std::mem::replace(&mut self.section, Section::Top) else {
+                unreachable!("matched Faults above");
+            };
+            self.faults.push(table.finalize()?);
+        }
+        Ok(())
+    }
+
+    fn top_key(&mut self, key: &str, value: TomlValue, line: usize) -> Result<(), ScenarioError> {
+        match key {
+            "name" => {
+                if self.name.is_some() {
+                    return Err(err_at(line, "duplicate key name"));
+                }
+                self.name = Some(expect_string(value, "name", line)?);
+                Ok(())
+            }
+            other => Err(err_at(line, format!("unknown key {other:?} (expected name)"))),
+        }
+    }
+
+    fn grid_key(&mut self, key: &str, value: TomlValue, line: usize) -> Result<(), ScenarioError> {
+        fn set<T>(
+            slot: &mut Option<T>,
+            key: &str,
+            line: usize,
+            value: T,
+        ) -> Result<(), ScenarioError> {
+            if slot.is_some() {
+                return Err(err_at(line, format!("duplicate key {key}")));
+            }
+            *slot = Some(value);
+            Ok(())
+        }
+        match key {
+            "sizes" => {
+                let sizes = expect_int_array(value, "sizes", line)?
+                    .into_iter()
+                    .map(|v| v as usize)
+                    .collect();
+                set(&mut self.grid.sizes, key, line, nonempty(sizes, "sizes", line)?)
+            }
+            "topologies" => {
+                let names = expect_string_array(value, "topologies", line)?;
+                let topologies = names
+                    .iter()
+                    .map(|n| axis_by_name(&Topology::ALL, Topology::name, n, "topology", line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                set(&mut self.grid.topologies, key, line, nonempty(topologies, key, line)?)
+            }
+            "auth" => {
+                let names = expect_string_array(value, "auth", line)?;
+                let modes = names
+                    .iter()
+                    .map(|n| axis_by_name(&AuthMode::ALL, AuthMode::name, n, "auth mode", line))
+                    .collect::<Result<Vec<_>, _>>()?;
+                set(&mut self.grid.auth, key, line, nonempty(modes, key, line)?)
+            }
+            "corruptions" => {
+                let TomlValue::Array(items) = value else {
+                    return Err(err_at(
+                        line,
+                        format!("corruptions: expected array, found {}", value.type_name()),
+                    ));
+                };
+                let mut pairs = Vec::new();
+                for item in items {
+                    match item {
+                        TomlValue::Array(pair) => match pair.as_slice() {
+                            [TomlValue::Integer(l), TomlValue::Integer(r)] => {
+                                pairs.push((*l as usize, *r as usize));
+                            }
+                            _ => {
+                                return Err(err_at(
+                                    line,
+                                    "corruptions: each entry must be a [tL, tR] integer pair",
+                                ));
+                            }
+                        },
+                        _ => {
+                            return Err(err_at(
+                                line,
+                                "corruptions: each entry must be a [tL, tR] integer pair",
+                            ));
+                        }
+                    }
+                }
+                set(&mut self.grid.corruptions, key, line, nonempty(pairs, key, line)?)
+            }
+            "adversaries" => {
+                let names = expect_string_array(value, "adversaries", line)?;
+                let adversaries = names
+                    .iter()
+                    .map(|n| {
+                        axis_by_name(&AdversarySpec::ALL, AdversarySpec::name, n, "adversary", line)
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                set(&mut self.grid.adversaries, key, line, nonempty(adversaries, key, line)?)
+            }
+            "seeds" => {
+                let seeds = expect_integer(value, "seeds", line)?;
+                if seeds == 0 {
+                    return Err(err_at(line, "seeds must be at least 1"));
+                }
+                set(&mut self.grid.seeds, key, line, seeds)
+            }
+            other => Err(err_at(
+                line,
+                format!(
+                    "unknown [grid] key {other:?} (expected sizes, topologies, auth, \
+                     corruptions, adversaries or seeds)"
+                ),
+            )),
+        }
+    }
+
+    fn fault_key(&mut self, key: &str, value: TomlValue, line: usize) -> Result<(), ScenarioError> {
+        let Section::Faults(table) = &mut self.section else {
+            unreachable!("fault_key is only dispatched inside [[faults]]");
+        };
+        fn set<T>(
+            slot: &mut Option<(T, usize)>,
+            key: &str,
+            line: usize,
+            value: T,
+        ) -> Result<(), ScenarioError> {
+            if slot.is_some() {
+                return Err(err_at(line, format!("duplicate key {key}")));
+            }
+            *slot = Some((value, line));
+            Ok(())
+        }
+        match key {
+            "partitions" => {
+                let TomlValue::Array(items) = value else {
+                    return Err(err_at(
+                        line,
+                        format!("partitions: expected array, found {}", value.type_name()),
+                    ));
+                };
+                if items.len() > 2 {
+                    return Err(err_at(line, "at most 2 scheduled partitions per plan"));
+                }
+                let mut windows = Vec::new();
+                for item in items {
+                    let TomlValue::Array(pair) = item else {
+                        return Err(err_at(
+                            line,
+                            "partitions: each entry must be a [start, duration] integer pair",
+                        ));
+                    };
+                    match pair.as_slice() {
+                        [TomlValue::Integer(start), TomlValue::Integer(duration)] => {
+                            windows.push(PartitionWindow {
+                                start: int_u32(*start, "partition start", line)?,
+                                duration: int_u32(*duration, "partition duration", line)?,
+                            });
+                        }
+                        _ => {
+                            return Err(err_at(
+                                line,
+                                "partitions: each entry must be a [start, duration] integer pair",
+                            ));
+                        }
+                    }
+                }
+                set(&mut table.partitions, key, line, windows)
+            }
+            "crash_party" => {
+                let name = expect_string(value, "crash_party", line)?;
+                let party = name.parse::<PartyId>().map_err(|message| err_at(line, message))?;
+                set(&mut table.crash_party, key, line, party)
+            }
+            "crash_start" => {
+                let start = expect_integer(value, "crash_start", line)?;
+                set(&mut table.crash_start, key, line, int_u32(start, "crash_start", line)?)
+            }
+            "crash_recovery" => {
+                let recovery = expect_integer(value, "crash_recovery", line)?;
+                set(
+                    &mut table.crash_recovery,
+                    key,
+                    line,
+                    int_u32(recovery, "crash_recovery", line)?,
+                )
+            }
+            "loss" => {
+                let loss = expect_integer(value, "loss", line)?;
+                if loss > 1000 {
+                    return Err(err_at(line, format!("loss rate {loss}\u{2030} exceeds 1000")));
+                }
+                set(&mut table.loss, key, line, loss as u16)
+            }
+            "jitter" => {
+                let jitter = expect_integer(value, "jitter", line)?;
+                let jitter = u8::try_from(jitter)
+                    .map_err(|_| err_at(line, format!("jitter {jitter} exceeds 255 slots")))?;
+                set(&mut table.jitter, key, line, jitter)
+            }
+            other => Err(err_at(
+                line,
+                format!(
+                    "unknown [[faults]] key {other:?} (expected partitions, crash_party, \
+                     crash_start, crash_recovery, loss or jitter)"
+                ),
+            )),
+        }
+    }
+
+    fn finish(self) -> Result<ScenarioFile, ScenarioError> {
+        let name = self.name.ok_or_else(|| err_at(0, "missing required key name"))?;
+        fn axis<T: Ord>(values: Option<Vec<T>>, default: Vec<T>) -> Vec<T> {
+            let mut values = values.unwrap_or(default);
+            values.sort_unstable();
+            values.dedup();
+            values
+        }
+        let mut faults = self.faults;
+        if faults.is_empty() {
+            faults.push(FaultSpec::NONE);
+        }
+        faults.sort_unstable();
+        faults.dedup();
+        Ok(ScenarioFile {
+            name,
+            sizes: axis(self.grid.sizes, vec![3]),
+            topologies: axis(self.grid.topologies, Topology::ALL.to_vec()),
+            auth: axis(self.grid.auth, AuthMode::ALL.to_vec()),
+            corruptions: axis(self.grid.corruptions, vec![(0, 0)]),
+            adversaries: axis(self.grid.adversaries, AdversarySpec::ALL.to_vec()),
+            seeds: self.grid.seeds.unwrap_or(1),
+            faults,
+        })
+    }
+}
+
+fn expect_string(value: TomlValue, key: &str, line: usize) -> Result<String, ScenarioError> {
+    match value {
+        TomlValue::String(text) => Ok(text),
+        other => Err(err_at(line, format!("{key}: expected string, found {}", other.type_name()))),
+    }
+}
+
+fn expect_integer(value: TomlValue, key: &str, line: usize) -> Result<u64, ScenarioError> {
+    match value {
+        TomlValue::Integer(v) => Ok(v),
+        other => Err(err_at(line, format!("{key}: expected integer, found {}", other.type_name()))),
+    }
+}
+
+fn expect_int_array(value: TomlValue, key: &str, line: usize) -> Result<Vec<u64>, ScenarioError> {
+    let TomlValue::Array(items) = value else {
+        return Err(err_at(line, format!("{key}: expected array, found {}", value.type_name())));
+    };
+    items
+        .into_iter()
+        .map(|item| match item {
+            TomlValue::Integer(v) => Ok(v),
+            other => {
+                Err(err_at(line, format!("{key}: expected integers, found {}", other.type_name())))
+            }
+        })
+        .collect()
+}
+
+fn expect_string_array(
+    value: TomlValue,
+    key: &str,
+    line: usize,
+) -> Result<Vec<String>, ScenarioError> {
+    let TomlValue::Array(items) = value else {
+        return Err(err_at(line, format!("{key}: expected array, found {}", value.type_name())));
+    };
+    items
+        .into_iter()
+        .map(|item| match item {
+            TomlValue::String(text) => Ok(text),
+            other => {
+                Err(err_at(line, format!("{key}: expected strings, found {}", other.type_name())))
+            }
+        })
+        .collect()
+}
+
+fn nonempty<T>(values: Vec<T>, key: &str, line: usize) -> Result<Vec<T>, ScenarioError> {
+    if values.is_empty() {
+        return Err(err_at(line, format!("{key} must not be empty")));
+    }
+    Ok(values)
+}
+
+fn axis_by_name<T: Copy>(
+    all: &[T],
+    name_of: impl Fn(&T) -> &'static str,
+    name: &str,
+    kind: &str,
+    line: usize,
+) -> Result<T, ScenarioError> {
+    all.iter()
+        .find(|value| name_of(value) == name)
+        .copied()
+        .ok_or_else(|| err_at(line, format!("unknown {kind} {name:?}")))
+}
+
+fn int_u32(value: u64, what: &str, line: usize) -> Result<u32, ScenarioError> {
+    u32::try_from(value).map_err(|_| err_at(line, format!("{what} {value} exceeds u32")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: &str = "\
+# A kitchen-sink scenario exercising every key.
+name = \"kitchen sink\"
+
+[grid]
+sizes = [4, 3, 3]
+topologies = [\"fully-connected\", \"bipartite\"]
+auth = [\"authenticated\"]
+corruptions = [[1, 1], [0, 0]]
+adversaries = [\"lying\", \"crash\"]
+seeds = 2
+
+[[faults]]
+partitions = [[4, 2], [0, 1]]  # out of order on purpose; parsing sorts them
+crash_party = \"L1\"
+crash_start = 5
+crash_recovery = 9
+loss = 25
+jitter = 2
+
+[[faults]]
+";
+
+    #[test]
+    fn full_scenario_parses_with_sorted_deduplicated_axes() {
+        let scenario = ScenarioFile::parse(FULL).unwrap();
+        assert_eq!(scenario.name, "kitchen sink");
+        assert_eq!(scenario.sizes, [3, 4]);
+        assert_eq!(scenario.topologies, [Topology::Bipartite, Topology::FullyConnected]);
+        assert_eq!(scenario.auth, [AuthMode::Authenticated]);
+        assert_eq!(scenario.corruptions, [(0, 0), (1, 1)]);
+        assert_eq!(scenario.adversaries, [AdversarySpec::Crash, AdversarySpec::Lying]);
+        assert_eq!(scenario.seeds, 2);
+        // The bare [[faults]] table is the fault-free plan; it sorts first.
+        assert_eq!(scenario.faults.len(), 2);
+        assert_eq!(scenario.faults[0], FaultSpec::NONE);
+        assert_eq!(
+            scenario.faults[1].to_string(),
+            "partition=0+1;partition=4+2;crash=L1@5..9;loss=25;jitter=2"
+        );
+    }
+
+    #[test]
+    fn defaults_match_the_campaign_builder() {
+        let scenario = ScenarioFile::parse("name = \"defaults\"\n").unwrap();
+        assert_eq!(scenario.sizes, [3]);
+        assert_eq!(scenario.topologies, Topology::ALL);
+        assert_eq!(scenario.auth, AuthMode::ALL);
+        assert_eq!(scenario.corruptions, [(0, 0)]);
+        assert_eq!(scenario.adversaries, AdversarySpec::ALL);
+        assert_eq!(scenario.seeds, 1);
+        assert_eq!(scenario.faults, [FaultSpec::NONE]);
+        let built = CampaignBuilder::new().build();
+        assert_eq!(scenario.campaign(), built);
+    }
+
+    #[test]
+    fn canonicalization_is_a_fixpoint() {
+        for text in [FULL, "name = \"defaults\"\n"] {
+            let parsed = ScenarioFile::parse(text).unwrap();
+            let canonical = parsed.canonical();
+            let reparsed = ScenarioFile::parse(&canonical).unwrap();
+            assert_eq!(reparsed, parsed, "canonical text must parse back to the same file");
+            assert_eq!(reparsed.canonical(), canonical, "canonical must be a fixpoint");
+        }
+    }
+
+    #[test]
+    fn canonical_form_of_a_faultless_file_has_no_faults_section() {
+        let canonical = ScenarioFile::parse("name = \"x\"\n").unwrap().canonical();
+        assert!(!canonical.contains("[[faults]]"), "{canonical}");
+        assert!(canonical.contains(
+            "topologies = [\"bipartite\", \"one-sided\", \
+                                    \"fully-connected\"]"
+        ));
+    }
+
+    #[test]
+    fn positioned_errors_name_line_and_problem() {
+        for (text, line, needle) in [
+            ("name = \"x\"\nbogus = 1\n", 2, "unknown key"),
+            ("name = \"x\"\n[grid]\nplanets = [9]\n", 3, "unknown [grid] key"),
+            ("name = \"x\"\n[grid]\nsizes = \"three\"\n", 3, "expected array"),
+            ("name = \"x\"\n[grid]\nsizes = []\n", 3, "must not be empty"),
+            ("name = \"x\"\n[grid]\ntopologies = [\"ring\"]\n", 3, "unknown topology"),
+            ("name = \"x\"\n[grid]\nseeds = 0\n", 3, "at least 1"),
+            ("name = \"x\"\n[grid]\nseeds = 1\nseeds = 2\n", 4, "duplicate key"),
+            ("name = \"x\"\n[[faults]]\nloss = 2000\n", 3, "exceeds 1000"),
+            ("name = \"x\"\n[[faults]]\njitter = 999\n", 3, "exceeds 255"),
+            ("name = \"x\"\n[[faults]]\npartitions = [[0, 0]]\n", 3, "zero duration"),
+            (
+                "name = \"x\"\n[[faults]]\npartitions = [[0, 5], [2, 2]]\n",
+                3,
+                "overlap or are unsorted",
+            ),
+            ("name = \"x\"\n[[faults]]\npartitions = [[0, 1], [2, 1], [4, 1]]\n", 3, "at most 2"),
+            ("name = \"x\"\n[[faults]]\ncrash_start = 3\n", 2, "given together"),
+            ("name = \"x\"\n[[faults]]\ncrash_recovery = 3\n", 3, "without crash_party"),
+            (
+                "name = \"x\"\n[[faults]]\ncrash_party = \"L0\"\ncrash_start = 5\n\
+                 crash_recovery = 5\n",
+                5,
+                "must be after its start",
+            ),
+            ("name = \"x\"\n[[faults]]\ncrash_party = \"Q7\"\ncrash_start = 1\n", 3, "L or R"),
+            ("name = \"x\"\n[weather]\n", 2, "unknown table"),
+            ("name = \"x\"\njust words\n", 2, "expected key = value"),
+            ("name = \"x\"\n[grid]\nseeds = 1 extra\n", 3, "trailing content"),
+            ("name = \"x\"\n[grid]\nsizes = [3\n", 3, "expected ',' or ']'"),
+            ("name = \"x\"\n[grid]\nsizes = [03]\n", 3, "leading zeros"),
+            ("name = \"x\"\nname = \"y\"\n", 2, "duplicate key name"),
+            ("name = \"unterminated\n", 1, "unterminated string"),
+            ("name = \"bad\\q\"\n", 1, "unsupported string escape"),
+            ("name = \"x\"\n[[faults]]\n[grid]\nseeds = 1\n", 3, "before any [[faults]]"),
+        ] {
+            let err = ScenarioFile::parse(text).unwrap_err();
+            assert_eq!(err.line, line, "{text:?}: {err}");
+            assert!(err.to_string().contains(needle), "{text:?}: {err}");
+            assert!(err.to_string().contains(&format!("line {line}")), "{err}");
+        }
+        // The missing-name error is not tied to a line.
+        let err = ScenarioFile::parse("[grid]\nseeds = 2\n").unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.to_string().contains("missing required key name"), "{err}");
+    }
+
+    #[test]
+    fn name_escapes_round_trip_through_the_canonical_form() {
+        let scenario = ScenarioFile::parse("name = \"quo\\\"te and back\\\\slash\"\n").unwrap();
+        assert_eq!(scenario.name, "quo\"te and back\\slash");
+        let canonical = scenario.canonical();
+        assert_eq!(ScenarioFile::parse(&canonical).unwrap(), scenario);
+    }
+
+    #[test]
+    fn comments_blank_lines_and_trailing_commas_are_tolerated() {
+        let text = "# header\nname = \"x\"  # trailing\n\n[grid]\nsizes = [3, 4,]\n";
+        let scenario = ScenarioFile::parse(text).unwrap();
+        assert_eq!(scenario.sizes, [3, 4]);
+    }
+
+    #[test]
+    fn fault_plans_reach_the_campaign_axis() {
+        let text = "name = \"x\"\n\n[grid]\nadversaries = [\"crash\"]\nauth = \
+                    [\"authenticated\"]\ntopologies = [\"fully-connected\"]\n\n[[faults]]\n\n\
+                    [[faults]]\nloss = 100\n";
+        let scenario = ScenarioFile::parse(text).unwrap();
+        let campaign = scenario.campaign();
+        assert_eq!(campaign.len(), 2, "one cell per fault plan");
+        assert_eq!(campaign.specs()[0].faults, FaultSpec::NONE);
+        assert_eq!(campaign.specs()[1].faults.loss_permille, 100);
+    }
+
+    #[test]
+    fn load_reports_unreadable_files_at_line_zero() {
+        let err = ScenarioFile::load(Path::new("/nonexistent/scenario.toml")).unwrap_err();
+        assert_eq!(err.line, 0);
+        assert!(err.to_string().contains("cannot read"), "{err}");
+    }
+}

@@ -67,6 +67,8 @@ pub struct CellTelemetry {
     pub delivered: u64,
     /// Messages dropped by the fault injector.
     pub dropped: u64,
+    /// Messages delayed (jittered) by the fault injector.
+    pub delayed: u64,
     /// Messages discarded by the topology (no such channel).
     pub rejected: u64,
     /// Simulated slots the cell executed.
@@ -94,6 +96,7 @@ impl CellTelemetry {
             messages: 0,
             delivered: 0,
             dropped: 0,
+            delayed: 0,
             rejected: 0,
             slots: 0,
             fanout: FanoutSummary::default(),
@@ -112,8 +115,9 @@ impl CellTelemetry {
         format!(
             "{{{}, \"status\": \"{}\", \"digests\": {}, \"verified\": {}, \
              \"cache_hits\": {}, \"messages\": {}, \"delivered\": {}, \"dropped\": {}, \
-             \"rejected\": {}, \"slots\": {}, \"honest_senders\": {}, \"honest_sent\": {}, \
-             \"honest_max\": {}, \"byz_senders\": {}, \"byz_sent\": {}, \"byz_max\": {}}}",
+             \"delayed\": {}, \"rejected\": {}, \"slots\": {}, \"honest_senders\": {}, \
+             \"honest_sent\": {}, \"honest_max\": {}, \"byz_senders\": {}, \"byz_sent\": {}, \
+             \"byz_max\": {}}}",
             spec_fields_json(&self.spec),
             self.status,
             self.crypto.digests_computed,
@@ -122,6 +126,7 @@ impl CellTelemetry {
             self.messages,
             self.delivered,
             self.dropped,
+            self.delayed,
             self.rejected,
             self.slots,
             f.honest.senders,
@@ -174,6 +179,7 @@ pub fn parse_telemetry_line(text: &str) -> Result<CellTelemetry, ImportError> {
         messages: number(&fields, "messages")?,
         delivered: number(&fields, "delivered")?,
         dropped: number(&fields, "dropped")?,
+        delayed: number(&fields, "delayed")?,
         rejected: number(&fields, "rejected")?,
         slots: number(&fields, "slots")?,
         fanout: FanoutSummary {
@@ -748,6 +754,7 @@ mod tests {
             t_l: 1,
             t_r: 1,
             adversary: AdversarySpec::Crash,
+            faults: bsm_net::FaultSpec::NONE,
             seed,
         }
     }
@@ -764,6 +771,7 @@ mod tests {
             messages: 400,
             delivered: 390,
             dropped: 8,
+            delayed: 4,
             rejected: 2,
             slots: 11,
             fanout: FanoutSummary {

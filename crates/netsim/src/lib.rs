@@ -12,7 +12,9 @@
 //!   think in lock-step rounds rather than raw slots,
 //! * [`Adversary`] — an adaptive byzantine adversary that controls all corrupted
 //!   parties, subject to the per-side corruption budget `(tL, tR)`,
-//! * [`FaultInjector`] — message-level fault injection (omission networks, §5.2),
+//! * [`FaultInjector`] — message-level fault injection (omission networks, §5.2), with
+//!   [`FaultSchedule`] applying a declarative [`FaultSpec`] (scheduled partitions,
+//!   crash/recovery, seeded loss and delivery jitter — partial synchrony),
 //! * [`SyncNetwork`] — the deterministic scheduler tying everything together, plus
 //!   [`Metrics`] for message/round accounting used by the benchmarks.
 //!
@@ -37,7 +39,10 @@ mod time;
 mod topology;
 
 pub use adversary::{Adversary, AdversaryContext, CorruptionBudget, PassiveAdversary};
-pub use faults::{DropAll, FaultInjector, NoFaults, PredicateFaults, RandomOmissions};
+pub use faults::{
+    CrashWindow, DropAll, FaultAction, FaultInjector, FaultSchedule, FaultSpec,
+    FaultSpecParseError, NoFaults, PartitionWindow, PredicateFaults, RandomOmissions,
+};
 pub use message::{multicast, Envelope, Outgoing};
 pub use metrics::{FanoutSummary, Metrics, RoleFanout};
 pub use party::{PartyId, PartySet};

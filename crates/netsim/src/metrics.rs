@@ -15,6 +15,9 @@ pub struct Metrics {
     pub delivered_messages: u64,
     /// Messages dropped by the fault injector.
     pub dropped_by_faults: u64,
+    /// Messages the fault injector delayed past their normal next-slot delivery
+    /// (they were still delivered, just later).
+    pub delayed_by_faults: u64,
     /// Messages discarded because the topology has no such channel (or the destination
     /// does not exist). For honest protocol code this should stay 0.
     pub rejected_by_topology: u64,

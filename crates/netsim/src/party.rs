@@ -73,6 +73,23 @@ impl fmt::Display for PartyId {
     }
 }
 
+impl std::str::FromStr for PartyId {
+    type Err = String;
+
+    /// Parses the [`Display`](fmt::Display) form: a side letter (`L`/`R`) followed by
+    /// the decimal index, e.g. `L2` or `R0`.
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let (side, index) = match text.split_at_checked(1) {
+            Some(("L", index)) => (Side::Left, index),
+            Some(("R", index)) => (Side::Right, index),
+            _ => return Err(format!("party id {text:?} must start with L or R")),
+        };
+        let index =
+            index.parse().map_err(|_| format!("party id {text:?} has a malformed index"))?;
+        Ok(Self { side, index })
+    }
+}
+
 /// The set of all parties in a market of size `k` (so `2k` parties in total).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PartySet {

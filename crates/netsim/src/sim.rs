@@ -232,7 +232,7 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
             self.metrics.rejected_by_topology += 1;
             return;
         }
-        let envelope = Envelope {
+        let mut envelope = Envelope {
             from,
             to: outgoing.to,
             sent_at: self.now,
@@ -240,10 +240,14 @@ impl<M: Clone, O: Clone> SyncNetwork<M, O> {
             payload: outgoing.payload,
         };
         self.metrics.record_sent(from, byzantine);
-        if self.injector.deliver(&envelope, self.now) {
-            self.in_flight.push(envelope);
-        } else {
-            self.metrics.dropped_by_faults += 1;
+        match self.injector.action(&envelope, self.now) {
+            crate::FaultAction::Deliver => self.in_flight.push(envelope),
+            crate::FaultAction::Drop => self.metrics.dropped_by_faults += 1,
+            crate::FaultAction::Delay(extra) => {
+                envelope.deliver_at = self.now + 1 + extra;
+                self.metrics.delayed_by_faults += 1;
+                self.in_flight.push(envelope);
+            }
         }
     }
 
@@ -573,6 +577,23 @@ mod tests {
         }
         assert_eq!(outcome.metrics.dropped_by_faults, 12);
         assert_eq!(outcome.metrics.delivered_messages, 0);
+    }
+
+    #[test]
+    fn fault_schedule_delays_messages_without_losing_them() {
+        let run = || {
+            let mut net = gossip_network(2, Topology::FullyConnected, CorruptionBudget::NONE);
+            let spec: crate::FaultSpec = "jitter=3".parse().unwrap();
+            net.set_fault_injector(Box::new(crate::FaultSchedule::new(spec, 9)));
+            net.run(20).unwrap()
+        };
+        let outcome = run();
+        assert!(outcome.all_honest_decided);
+        assert!(outcome.metrics.delayed_by_faults > 0, "jitter=3 should delay something");
+        assert_eq!(outcome.metrics.dropped_by_faults, 0, "jitter never drops");
+        let again = run();
+        assert_eq!(outcome.outputs, again.outputs);
+        assert_eq!(outcome.metrics, again.metrics);
     }
 
     /// An adversary that equivocates: it sends different values to different recipients
