@@ -86,9 +86,24 @@
 //! campaign_ctl run --smoke --stream --metrics --shard 1/3 --out shards/1
 //! campaign_ctl stats shards/1     # p50/p90/p99, top cells, rollups (+ heartbeat)
 //! ```
+//!
+//! # Fuzzing (`fuzz`)
+//!
+//! `fuzz --budget N --seed S` runs the violation-guided adversary fuzzer: a seeded,
+//! byte-deterministic search over serialized adversary scripts, checked against the
+//! broadcast and stable-matching property oracles (see `docs/FUZZING.md`). Any
+//! violating script is greedily shrunk; `--freeze` writes the minimal script as a
+//! canonical regression file under `crates/core/tests/fuzz_regressions/`, and
+//! `--replay FILE` re-runs one frozen script and verifies its recorded verdict:
+//!
+//! ```sh
+//! campaign_ctl fuzz --budget 200 --seed 1          # writes fuzz.log to --out
+//! campaign_ctl fuzz --replay crates/core/tests/fuzz_regressions/some_attack.toml
+//! ```
 
 use bsm_bench::cli::BenchArgs;
 use bsm_core::harness::AdversarySpec;
+use bsm_core::script::{Script, Verdict};
 use bsm_engine::export::{
     atomic_write, to_csv, to_json, AtomicFile, MergedJsonWriter, StreamingCsvWriter,
     StreamingExporter,
@@ -98,8 +113,8 @@ use bsm_engine::telemetry::{
     parse_progress, CampaignStats, CellTelemetry, Heartbeat, TelemetryExporter, HEARTBEAT_EVERY,
 };
 use bsm_engine::{
-    Campaign, CampaignBuilder, CampaignDiff, CampaignReport, CellMerge, Executor, Progress,
-    ScenarioFile, ShardPlan, StreamError, Totals,
+    run_fuzz, Campaign, CampaignBuilder, CampaignDiff, CampaignReport, CellMerge, Executor,
+    FuzzConfig, Progress, ScenarioFile, ShardPlan, StreamError, Totals,
 };
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -556,6 +571,127 @@ fn bench(args: &BenchArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `fuzz`: the violation-guided adversary fuzzer (see `docs/FUZZING.md`).
+///
+/// `fuzz --budget N --seed S` runs the seeded search loop over adversary-script
+/// space and writes the byte-deterministic `fuzz.log` under `--out` (default
+/// `target/campaign_ctl`). Any violating script is greedily shrunk; `--freeze`
+/// writes each minimal script as a canonical regression file under
+/// `crates/core/tests/fuzz_regressions/`. `fuzz --replay FILE` instead re-runs one
+/// frozen script and checks the recorded verdict; `--replay FILE --freeze` rewrites
+/// the file canonically with the observed verdict (how verdicts get stamped).
+///
+/// Returns `Ok(true)` — exit FAILURE — when the search found violations or a
+/// replayed verdict did not reproduce.
+fn fuzz(args: &BenchArgs) -> Result<bool, String> {
+    // The fuzzer owns its own determinism contract; campaign-flavored flags have no
+    // meaning here and silently ignoring them would mislabel the run.
+    if args.shard.is_some()
+        || args.stream
+        || args.metrics
+        || args.smoke
+        || args.scenario.is_some()
+        || !args.files.is_empty()
+    {
+        return Err("fuzz: --shard, --stream, --metrics, --smoke, --scenario and file \
+             arguments are not supported (use --budget N, --seed S, --replay FILE, \
+             --freeze, --out DIR)"
+            .into());
+    }
+    if let Some(path) = &args.replay {
+        if args.budget.is_some() || args.seed.is_some() {
+            return Err("fuzz: --replay re-runs one frozen script; --budget/--seed only \
+                 apply to the search loop"
+                .into());
+        }
+        return replay_script(path, args.freeze);
+    }
+    let budget = args.budget.ok_or_else(|| {
+        "fuzz: --budget N is required (or --replay FILE to re-run a frozen script)".to_string()
+    })?;
+    let seed = args.seed.unwrap_or(0);
+    let report = run_fuzz(&FuzzConfig { budget, seed });
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
+    let log_path = out.join("fuzz.log");
+    std::fs::create_dir_all(&out)
+        .and_then(|()| atomic_write(&log_path, report.log.clone()))
+        .map_err(|err| format!("cannot write {}: {err}", log_path.display()))?;
+    println!(
+        "fuzzed {} case(s): {} violation(s), worst slots {} (case {:04}), \
+         worst messages {} (case {:04})",
+        report.cases,
+        report.violations.len(),
+        report.worst_slots,
+        report.worst_slots_case,
+        report.worst_messages,
+        report.worst_messages_case
+    );
+    println!("exported {}", log_path.display());
+    for violation in &report.violations {
+        eprintln!(
+            "case {:04}: VIOLATION {} (shrunk {} -> {} action(s))",
+            violation.case,
+            violation.signature,
+            violation.script.actions.len(),
+            violation.shrunk.actions.len()
+        );
+        if args.freeze {
+            let dir = PathBuf::from("crates/core/tests/fuzz_regressions");
+            let path = dir.join(format!("{}.toml", violation.shrunk.name));
+            std::fs::create_dir_all(&dir)
+                .and_then(|()| atomic_write(&path, violation.shrunk.canonical()))
+                .map_err(|err| format!("cannot freeze {}: {err}", path.display()))?;
+            println!("froze {}", path.display());
+        }
+    }
+    Ok(!report.violations.is_empty())
+}
+
+/// `fuzz --replay FILE [--freeze]`: re-run one frozen script deterministically.
+///
+/// Without `--freeze` the observed verdict must match the one recorded in the file
+/// (a missing recorded verdict is reported but does not fail). With `--freeze` the
+/// file is rewritten canonically with the observed verdict.
+fn replay_script(path: &Path, freeze: bool) -> Result<bool, String> {
+    let script =
+        Script::load(path).map_err(|err| format!("cannot replay {}: {err}", path.display()))?;
+    let outcome =
+        script.run().map_err(|err| format!("replay of {} failed to run: {err}", path.display()))?;
+    let observed = Verdict::of(&outcome);
+    println!(
+        "replayed {}: decided={} slots={} violations={:?}",
+        path.display(),
+        observed.decided,
+        observed.slots,
+        observed.violations
+    );
+    if freeze {
+        let mut updated = script;
+        updated.verdict = Some(observed);
+        atomic_write(path, updated.canonical())
+            .map_err(|err| format!("cannot freeze {}: {err}", path.display()))?;
+        println!("froze {}", path.display());
+        return Ok(false);
+    }
+    match &script.verdict {
+        Some(recorded) if *recorded == observed => {
+            println!("verdict reproduced");
+            Ok(false)
+        }
+        Some(recorded) => {
+            eprintln!(
+                "verdict MISMATCH: file records decided={} slots={} violations={:?}",
+                recorded.decided, recorded.slots, recorded.violations
+            );
+            Ok(true)
+        }
+        None => {
+            println!("no recorded verdict (stamp one with --replay FILE --freeze)");
+            Ok(false)
+        }
+    }
+}
+
 fn merge(args: &BenchArgs) -> Result<(), String> {
     if args.files.is_empty() {
         return Err("merge: no shard exports given (pass report.json paths)".into());
@@ -729,6 +865,17 @@ fn main() -> ExitCode {
         eprintln!("campaign_ctl: invalid argument(s): {}", args.unknown.join(", "));
         return ExitCode::FAILURE;
     }
+    // Fuzz-only flags on a campaign subcommand mean the user mixed up invocations;
+    // silently ignoring them could run a different experiment than intended.
+    if subcommand != "fuzz"
+        && (args.budget.is_some() || args.seed.is_some() || args.replay.is_some() || args.freeze)
+    {
+        eprintln!(
+            "campaign_ctl: --budget, --seed, --replay and --freeze only apply to \
+             `campaign_ctl fuzz`"
+        );
+        return ExitCode::FAILURE;
+    }
     let result = match subcommand.as_str() {
         "run" => run(&args).map(|()| false),
         "resume" => resume(&args).map(|()| false),
@@ -736,16 +883,18 @@ fn main() -> ExitCode {
         "merge" => merge(&args).map(|()| false),
         "diff" => diff(&args),
         "stats" => stats(&args).map(|()| false),
+        "fuzz" => fuzz(&args),
         other => Err(format!(
             "unknown subcommand {other:?}; usage: campaign_ctl \
-             <run|resume|bench|merge|diff|stats> [--smoke] [--scenario FILE] [--stream] \
+             <run|resume|bench|merge|diff|stats|fuzz> [--smoke] [--scenario FILE] [--stream] \
              [--metrics] [--shard I/K] [--threads N] [--out DIR] \
+             [--budget N] [--seed S] [--replay FILE] [--freeze] \
              [report.json|report.jsonl|metrics.jsonl ...]"
         )),
     };
     match result {
         Ok(false) => ExitCode::SUCCESS,
-        Ok(true) => ExitCode::FAILURE, // diff found differing cells
+        Ok(true) => ExitCode::FAILURE, // diff found differing cells / fuzz found violations
         Err(message) => {
             eprintln!("campaign_ctl: {message}");
             ExitCode::FAILURE

@@ -15,7 +15,12 @@
 //!   (see `docs/SCENARIOS.md`); mutually exclusive with `--smoke`,
 //! * `--stream` — streamed export/merge (constant memory; see `campaign_ctl`),
 //! * `--metrics` — write the per-cell telemetry sidecar (`metrics.jsonl`) next to
-//!   the report artifacts; never changes a report byte (see `campaign_ctl stats`).
+//!   the report artifacts; never changes a report byte (see `campaign_ctl stats`),
+//! * `--budget N` — fuzzing case budget for `campaign_ctl fuzz`,
+//! * `--seed S` — master seed for `campaign_ctl fuzz` (default 0),
+//! * `--replay FILE` — replay one frozen adversary script instead of searching,
+//! * `--freeze` — write found (or replayed) scripts as canonical regression files
+//!   (see `docs/FUZZING.md`).
 //!
 //! The vocabulary is deliberately shared across subcommands: `campaign_ctl resume`
 //! takes the *same* `--smoke`/`--shard`/`--threads`/`--out` flags as the interrupted
@@ -52,6 +57,15 @@ pub struct BenchArgs {
     /// `true` when `--metrics` was passed (write the `metrics.jsonl` telemetry
     /// sidecar alongside the report artifacts).
     pub metrics: bool,
+    /// Fuzzing case budget from `--budget` (`campaign_ctl fuzz`).
+    pub budget: Option<u64>,
+    /// Fuzzer master seed from `--seed` (`campaign_ctl fuzz`; default 0).
+    pub seed: Option<u64>,
+    /// Frozen script to replay from `--replay` (`campaign_ctl fuzz`).
+    pub replay: Option<PathBuf>,
+    /// `true` when `--freeze` was passed (write found/replayed scripts as canonical
+    /// regression files).
+    pub freeze: bool,
     /// Non-numeric positional arguments, in order (file paths for subcommands that
     /// consume exports, e.g. `campaign_ctl merge`/`diff`).
     pub files: Vec<String>,
@@ -72,6 +86,10 @@ impl Default for BenchArgs {
             scenario: None,
             stream: false,
             metrics: false,
+            budget: None,
+            seed: None,
+            replay: None,
+            freeze: false,
             files: Vec::new(),
             unknown: Vec::new(),
         }
@@ -123,6 +141,19 @@ impl BenchArgs {
                 },
                 "--stream" => parsed.stream = true,
                 "--metrics" => parsed.metrics = true,
+                "--budget" => match value(&mut iter).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) if n > 0 => parsed.budget = Some(n),
+                    _ => parsed.unknown.push("--budget (expects a positive integer)".into()),
+                },
+                "--seed" => match value(&mut iter).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(n) => parsed.seed = Some(n),
+                    None => parsed.unknown.push("--seed (expects an integer)".into()),
+                },
+                "--replay" => match value(&mut iter) {
+                    Some(file) => parsed.replay = Some(PathBuf::from(file)),
+                    None => parsed.unknown.push("--replay (expects a script file)".into()),
+                },
+                "--freeze" => parsed.freeze = true,
                 other if other.starts_with("--") => parsed.unknown.push(other.to_string()),
                 other => match other.parse::<usize>() {
                     Ok(k) if parsed.k.is_none() => parsed.k = Some(k),
@@ -163,7 +194,7 @@ impl fmt::Display for BenchArgs {
         write!(
             f,
             "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} scenario={:?} stream={} \
-             metrics={} files={}",
+             metrics={} budget={:?} seed={:?} replay={:?} freeze={} files={}",
             self.k,
             self.verify,
             self.threads,
@@ -173,6 +204,10 @@ impl fmt::Display for BenchArgs {
             self.scenario,
             self.stream,
             self.metrics,
+            self.budget,
+            self.seed,
+            self.replay,
+            self.freeze,
             self.files.len()
         )
     }
@@ -275,6 +310,34 @@ mod tests {
         let parsed = args(&["--shard", "--smoke"]);
         assert_eq!(parsed.shard, None);
         assert!(parsed.smoke);
+    }
+
+    #[test]
+    fn fuzz_flags_parse() {
+        let parsed = args(&["--budget", "200", "--seed", "1", "--freeze"]);
+        assert_eq!(parsed.budget, Some(200));
+        assert_eq!(parsed.seed, Some(1));
+        assert!(parsed.freeze);
+        assert!(parsed.unknown.is_empty());
+        assert!(parsed.to_string().contains("budget=Some(200)"));
+        let replay = args(&["--replay", "crates/core/tests/fuzz_regressions/x.toml"]);
+        assert_eq!(
+            replay.replay.as_deref(),
+            Some(std::path::Path::new("crates/core/tests/fuzz_regressions/x.toml"))
+        );
+        let defaults = args(&[]);
+        assert_eq!(defaults.budget, None);
+        assert_eq!(defaults.seed, None);
+        assert_eq!(defaults.replay, None);
+        assert!(!defaults.freeze);
+        // Seed 0 is a legal explicit value, budget 0 is not.
+        assert_eq!(args(&["--seed", "0"]).seed, Some(0));
+        assert_eq!(args(&["--budget", "0"]).unknown.len(), 1);
+        // Missing values are collected, never stolen from a following flag.
+        assert_eq!(args(&["--budget", "--freeze"]).budget, None);
+        assert!(args(&["--budget", "--freeze"]).freeze);
+        assert_eq!(args(&["--seed"]).unknown.len(), 1);
+        assert_eq!(args(&["--replay", "--freeze"]).replay, None);
     }
 
     #[test]

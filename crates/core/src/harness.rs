@@ -197,6 +197,13 @@ impl Scenario {
         self.env.key_of.get(&party).copied()
     }
 
+    /// The shared run environment (PKI, key directory, runtime construction) — used by
+    /// [`crate::script::ScriptedAdversary`] to build honest-code puppets that are
+    /// byte-identical to the ones [`Scenario::run`] builds for [`AdversarySpec::Lying`].
+    pub(crate) fn env(&self) -> &ScenarioEnv {
+        &self.env
+    }
+
     /// Runs the scenario with the plan prescribed by the solvability characterization.
     ///
     /// # Errors

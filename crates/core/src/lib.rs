@@ -20,6 +20,9 @@
 //!   bipartite-authenticated protocol `ΠbSM` of Lemma 9,
 //! * [`strategies`] — reusable byzantine strategies (crash, preference lying, garbage
 //!   spam, puppet simulation of honest code on chosen inputs),
+//! * [`script`] — data-valued adversary scripts: serializable action lists a fuzzer
+//!   can generate, mutate, shrink and replay, interpreted by a
+//!   [`script::ScriptedAdversary`] that provably subsumes the built-in strategies,
 //! * [`attacks`] — the impossibility constructions of Lemmas 5, 7 and 13 as concrete
 //!   adversaries that violate bSM properties beyond the tight thresholds,
 //! * [`harness`] — the scenario runner used by the experiments: build a setting, pick a
@@ -56,6 +59,7 @@ pub mod properties;
 pub mod protocols;
 pub mod relay;
 pub mod runtime;
+pub mod script;
 pub mod solvability;
 pub mod ssm;
 pub mod strategies;
@@ -64,4 +68,5 @@ pub mod wire;
 pub use harness::{AdversarySpec, HarnessError, Scenario, ScenarioOutcome};
 pub use problem::{AuthMode, MatchDecision, Setting};
 pub use properties::{check_bsm, PropertyViolation};
+pub use script::{Script, ScriptAction, ScriptError, ScriptedAdversary, Verdict};
 pub use solvability::{characterize, ProtocolPlan, Solvability};

@@ -65,3 +65,37 @@ fn lemma13_full_side_partition_attack_breaks_non_competition() {
         );
     }
 }
+
+#[test]
+fn frozen_fuzz_regressions_are_tolerated() {
+    // Every script the fuzzer (or a developer) froze under tests/fuzz_regressions/
+    // is replayed here forever: the file must be canonical (so freezes are
+    // diff-stable), the protocol must tolerate the scripted adversary with all bSM
+    // properties intact, and the recorded verdict must reproduce byte-for-byte.
+    use bsm_core::script::{Script, Verdict};
+
+    let dir = std::path::Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fuzz_regressions"));
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .expect("tests/fuzz_regressions must exist")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|path| path.extension().is_some_and(|ext| ext == "toml"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 4, "expected at least 4 frozen regressions, found {}", paths.len());
+    for path in paths {
+        let name = path.display();
+        let text = std::fs::read_to_string(&path).expect("readable regression file");
+        let script = Script::parse(&text).unwrap_or_else(|err| panic!("{name}: {err}"));
+        assert_eq!(text, script.canonical(), "{name}: frozen file must be canonical");
+        let recorded =
+            script.verdict.clone().unwrap_or_else(|| panic!("{name}: missing [verdict]"));
+        let outcome = script.run().unwrap_or_else(|err| panic!("{name}: {err}"));
+        assert!(
+            outcome.violations.is_empty(),
+            "{name}: frozen attack must stay tolerated, got {:?}",
+            outcome.violations
+        );
+        assert!(outcome.all_honest_decided, "{name}: honest parties must still decide");
+        assert_eq!(Verdict::of(&outcome), recorded, "{name}: recorded verdict must reproduce");
+    }
+}

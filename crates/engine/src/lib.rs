@@ -28,6 +28,10 @@
 //!   a file names the grid axes plus a schedule of network faults (partitions,
 //!   crash/recovery, loss, jitter), each fault plan a first-class campaign axis,
 //!   and its canonical rendering is the scenario tag embedded in report artifacts,
+//! * [`fuzz`] — the violation-guided adversary fuzzer: a seeded search loop over
+//!   [`bsm_core::script::Script`] space with worst-case tracking, greedy shrinking
+//!   of any violating script, and byte-deterministic logs (`campaign_ctl fuzz`,
+//!   see `docs/FUZZING.md`),
 //! * [`progress`] — an optional scenarios/sec + ETA reporter on stderr,
 //! * [`telemetry`] — the observability side channel: per-cell attributed cost
 //!   records ([`CellTelemetry`]) streamed to a `metrics.jsonl` sidecar, log-bucketed
@@ -141,6 +145,7 @@ pub mod campaign;
 pub mod diff;
 pub mod executor;
 pub mod export;
+pub mod fuzz;
 pub mod grid;
 pub mod import;
 pub mod progress;
@@ -156,6 +161,7 @@ pub use export::{
     atomic_write, cell_json, csv_row, to_csv, to_json, totals_json, AtomicFile, MergedJsonWriter,
     StreamError, StreamingCsvWriter, StreamingExporter,
 };
+pub use fuzz::{run_fuzz, shrink, violation_signature, FoundViolation, FuzzConfig, FuzzReport};
 pub use grid::{ScenarioSpec, ShardPlan, ShardPlanError};
 pub use import::{
     footer_meta, footer_totals, from_json, from_jsonl, ImportError, SalvagedPrefix, StreamingCells,

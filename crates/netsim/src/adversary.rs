@@ -67,6 +67,17 @@ impl AdversaryContext<'_> {
     pub fn honest(&self) -> Vec<PartyId> {
         self.parties.iter().filter(|p| !self.corrupted.contains(p)).collect()
     }
+
+    /// Returns `true` if a corruption request for `candidate` would be honored this
+    /// slot: the party exists in the universe and the per-side budget has room.
+    ///
+    /// Scripted/adaptive adversaries use this to filter their corruption plans up
+    /// front instead of relying on the simulator silently ignoring over-budget
+    /// requests (already-corrupted parties are allowed, as
+    /// [`CorruptionBudget::allows`] is idempotent).
+    pub fn can_corrupt(&self, candidate: PartyId) -> bool {
+        candidate.idx() < self.parties.k() && self.budget.allows(self.corrupted, candidate)
+    }
 }
 
 /// An adaptive byzantine adversary.
@@ -138,6 +149,24 @@ mod tests {
         let honest = ctx.honest();
         assert_eq!(honest.len(), 3);
         assert!(!honest.contains(&PartyId::left(0)));
+    }
+
+    #[test]
+    fn can_corrupt_checks_universe_and_budget() {
+        let corrupted: BTreeSet<PartyId> = [PartyId::left(0)].into_iter().collect();
+        let ctx = AdversaryContext {
+            now: Time::ZERO,
+            parties: PartySet::new(2),
+            topology: Topology::FullyConnected,
+            corrupted: &corrupted,
+            budget: CorruptionBudget::new(1, 1),
+        };
+        // Left budget exhausted; right budget open; idempotent on already-corrupted.
+        assert!(!ctx.can_corrupt(PartyId::left(1)));
+        assert!(ctx.can_corrupt(PartyId::left(0)));
+        assert!(ctx.can_corrupt(PartyId::right(1)));
+        // Out-of-universe indices are never corruptible, whatever the budget says.
+        assert!(!ctx.can_corrupt(PartyId::right(7)));
     }
 
     #[test]
