@@ -70,6 +70,36 @@
 //! published through a temp-file + atomic-rename, so a crash at any instant can
 //! never leave a truncated file at a tracked path.
 //!
+//! # Supervision (`supervise`)
+//!
+//! `supervise --shards K` turns the crash-*recoverable* pieces above into a
+//! crash-*tolerant* whole: the coordinator spawns one worker subprocess per shard
+//! (`run --stream --shard i/K`, re-executing this binary), watches each worker's
+//! `progress.json` heartbeat for liveness (a heartbeat that stops advancing — not
+//! mere slowness — gets the worker killed), and on any death salvages the
+//! worker's partial and relaunches the remainder (`resume`) with bounded attempts
+//! and exponential backoff. A shard that keeps dying is quarantined and the run
+//! degrades gracefully: the completed shards are merged, `supervise.json` records
+//! every attempt and the quarantined coordinate ranges, and the process exits
+//! with the degraded code 4. With every worker healthy the merged
+//! `report.json`/`report.csv` are **byte-identical** to an unsupervised
+//! single-process run. `--chaos SHARD:ATTEMPT:MODE,...` injects deterministic
+//! crashes (cell-boundary kill, torn half-line, hang, pre-heartbeat death,
+//! post-footer/pre-rename death) so the supervision machinery is tested against
+//! real process deaths:
+//!
+//! ```sh
+//! campaign_ctl supervise --smoke --shards 3 --out supervised
+//! campaign_ctl supervise --smoke --shards 3 --chaos 2:1:torn7 --backoff-ms 0
+//! ```
+//!
+//! # Exit codes
+//!
+//! The mapping is a documented contract (see [`bsm_bench::exit`]), asserted by
+//! `crates/bench/tests/exit_codes.rs`: 0 success, 1 internal error, 2 usage
+//! error, 3 findings (`diff` differing cells; `fuzz` violations or a replay
+//! mismatch), 4 degraded (`supervise` quarantined at least one shard).
+//!
 //! # Telemetry (`--metrics`, `stats`)
 //!
 //! `run --metrics` (in-memory or `--stream`) writes a `metrics.jsonl` sidecar next
@@ -102,6 +132,7 @@
 //! ```
 
 use bsm_bench::cli::BenchArgs;
+use bsm_bench::exit::{CtlCode, CtlError};
 use bsm_core::harness::AdversarySpec;
 use bsm_core::script::{Script, Verdict};
 use bsm_engine::export::{
@@ -109,6 +140,10 @@ use bsm_engine::export::{
     StreamingExporter,
 };
 use bsm_engine::import::{footer_meta, from_json, from_jsonl, StreamingCells};
+use bsm_engine::supervise::{
+    attempt_from_env, pid_alive, run_supervisor, ChaosSpec, CrashPoint, SuperviseConfig,
+    DEFAULT_BACKOFF_MS, DEFAULT_MAX_ATTEMPTS, DEFAULT_POLL_MS, DEFAULT_STALL_POLLS,
+};
 use bsm_engine::telemetry::{
     parse_progress, CampaignStats, CellTelemetry, Heartbeat, TelemetryExporter, HEARTBEAT_EVERY,
 };
@@ -117,21 +152,23 @@ use bsm_engine::{
     FuzzConfig, Progress, ScenarioFile, ShardPlan, StreamError, Totals,
 };
 use std::fs::File;
-use std::io::{BufReader, BufWriter};
+use std::io::{BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
-use std::process::ExitCode;
+use std::process::{Command, ExitCode, Stdio};
 
 /// The campaign to run, plus the canonical scenario text when one was loaded from
 /// `--scenario FILE` (embedded in every report artifact as its scenario tag).
 ///
 /// Without `--scenario`, the standard grids are mirrored by `examples/campaign.rs` —
 /// the CI gate cross-checks that both produce byte-identical exports.
-fn build_campaign(args: &BenchArgs) -> Result<(Campaign, Option<String>), String> {
+fn build_campaign(args: &BenchArgs) -> Result<(Campaign, Option<String>), CtlError> {
     if let Some(path) = &args.scenario {
         if args.smoke {
-            return Err("--scenario and --smoke are mutually exclusive (the scenario \
+            return Err(CtlError::Usage(
+                "--scenario and --smoke are mutually exclusive (the scenario \
                  file already names its whole grid)"
-                .into());
+                    .into(),
+            ));
         }
         let scenario = ScenarioFile::load(path).map_err(|err| err.to_string())?;
         eprintln!("loaded scenario {:?} from {}", scenario.name, path.display());
@@ -227,7 +264,7 @@ fn publish_partial(jsonl: BufWriter<File>, partial: &Path, dest: &Path) -> Resul
         .map_err(|err| format!("cannot publish {}: {err}", dest.display()))
 }
 
-fn run(args: &BenchArgs) -> Result<(), String> {
+fn run(args: &BenchArgs) -> Result<CtlCode, CtlError> {
     let (campaign, scenario) = build_campaign(args)?;
     let executor = args.executor().progress(Progress::Stderr { every: 250 });
     match args.shard {
@@ -252,7 +289,8 @@ fn run(args: &BenchArgs) -> Result<(), String> {
         eprintln!("{stats}");
         println!("totals: {}", report.totals());
         export_report(&report, &out)?;
-        return export_metrics(&telemetry, &out);
+        export_metrics(&telemetry, &out)?;
+        return Ok(CtlCode::Success);
     }
     let (report, stats) = match args.shard {
         Some(plan) => executor.run_shard(&campaign, plan),
@@ -261,7 +299,8 @@ fn run(args: &BenchArgs) -> Result<(), String> {
     let report = tag(report);
     eprintln!("{stats}");
     println!("totals: {}", report.totals());
-    export_report(&report, &out)
+    export_report(&report, &out)?;
+    Ok(CtlCode::Success)
 }
 
 /// `run --stream`: cells are folded into rolling totals and streamed to
@@ -281,7 +320,14 @@ fn run_streamed(
     campaign: &Campaign,
     scenario: Option<&str>,
     executor: &Executor,
-) -> Result<(), String> {
+) -> Result<CtlCode, CtlError> {
+    // Deterministic crash injection (the supervision chaos tests): read the armed
+    // point first, so an `early` death happens before any artifact exists.
+    let mut crash = CrashPoint::from_env().map_err(CtlError::Usage)?;
+    if let Some(point) = &crash {
+        point.die_early_if_armed();
+    }
+    let attempt = attempt_from_env()?;
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl"));
     std::fs::create_dir_all(&out)
         .map_err(|err| format!("cannot create {}: {err}", out.display()))?;
@@ -310,6 +356,7 @@ fn run_streamed(
     // and the future coordinator, not a per-cell data product.
     let shard_len = args.shard.map_or(campaign.len(), |plan| plan.range(campaign.len()).len());
     let mut heartbeat = Heartbeat::new(&out, shard_len, HEARTBEAT_EVERY)
+        .and_then(|beat| if attempt > 1 { beat.attempt(attempt) } else { Ok(beat) })
         .map_err(|err| format!("cannot write heartbeat in {}: {err}", out.display()))?;
     let result = (|| -> Result<(Totals, bsm_engine::ExecutionStats), String> {
         let mut exporter = StreamingExporter::new(&mut jsonl);
@@ -326,7 +373,16 @@ fn run_streamed(
                 if let Some(sidecar) = metrics.as_mut() {
                     sidecar.write_cell(&telemetry)?;
                 }
-                heartbeat.tick(cell.spec).map_err(StreamError::from)
+                heartbeat.tick(cell.spec)?;
+                if let Some(point) = crash.as_mut() {
+                    if point.cell_written() {
+                        // Flush first: an injected death leaves whole lines (plus,
+                        // for torn mode, the fragment fire() appends after them).
+                        exporter.flush()?;
+                        point.fire(&partial_path);
+                    }
+                }
+                Ok(())
             };
         let run = match args.shard {
             Some(plan) => executor.run_shard_streaming_telemetry(campaign, plan, &mut sink),
@@ -358,9 +414,16 @@ fn run_streamed(
                 "{message} (completed cells kept at {}; `campaign_ctl resume` with the \
                  same flags finishes the run)",
                 partial_path.display()
-            ));
+            )
+            .into());
         }
     };
+    if let Some(point) = &crash {
+        // The `finish` death promises a complete, footered partial on disk: drain
+        // the writer's buffer before dying between footer and rename.
+        jsonl.flush().map_err(|err| format!("cannot flush {}: {err}", partial_path.display()))?;
+        point.die_before_publish_if_armed();
+    }
     publish_partial(jsonl, &partial_path, &path)?;
     csv_out.persist().map_err(|err| format!("cannot publish {}: {err}", csv_path.display()))?;
     if let Some(staged) = metrics_out {
@@ -377,7 +440,7 @@ fn run_streamed(
     if args.metrics {
         println!("exported {}", metrics_path.display());
     }
-    Ok(())
+    Ok(CtlCode::Success)
 }
 
 /// `resume --out DIR`: finish a crash-interrupted `run --stream`.
@@ -390,24 +453,37 @@ fn run_streamed(
 /// uninterrupted `run --stream`. Pass the same `--smoke`/`--shard` flags as the
 /// interrupted run; the salvaged prefix is held in memory while the output is
 /// rewritten through the same partial-then-rename scheme as `run --stream`.
-fn resume(args: &BenchArgs) -> Result<(), String> {
+fn resume(args: &BenchArgs) -> Result<CtlCode, CtlError> {
     if !args.files.is_empty() {
-        return Err("resume: file arguments are not supported (pass --out DIR of the \
+        return Err(CtlError::Usage(
+            "resume: file arguments are not supported (pass --out DIR of the \
              interrupted run, plus its --smoke/--shard flags)"
-            .into());
+                .into(),
+        ));
     }
     if args.metrics {
         // Telemetry (counter deltas, wall times) is measured while a cell runs; it
         // cannot be reconstructed for the cells salvaged from the interrupted
         // export, so a resumed sidecar would silently cover only the fresh tail.
-        return Err("resume: --metrics is not supported (per-cell telemetry cannot be \
+        return Err(CtlError::Usage(
+            "resume: --metrics is not supported (per-cell telemetry cannot be \
              reconstructed for salvaged cells; re-run with `run --stream --metrics` \
              for a complete sidecar)"
-            .into());
+                .into(),
+        ));
     }
     let out = args.out.clone().ok_or_else(|| {
-        "resume: --out DIR is required (the directory of the interrupted streamed run)".to_string()
+        CtlError::Usage(
+            "resume: --out DIR is required (the directory of the interrupted streamed run)".into(),
+        )
     })?;
+    // Chaos counts *stream-absolute* cells: replayed salvaged cells count too, so
+    // "die after the Nth cell" means the same position on every attempt.
+    let mut crash = CrashPoint::from_env().map_err(CtlError::Usage)?;
+    if let Some(point) = &crash {
+        point.die_early_if_armed();
+    }
+    let attempt = attempt_from_env()?;
     let (campaign, scenario) = build_campaign(args)?;
     let plan = args.shard.unwrap_or(ShardPlan::WHOLE);
     let shard = campaign.shard(plan);
@@ -432,7 +508,8 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
             "salvaged {done} cell(s) but shard {plan} has only {} — wrong --smoke/--shard \
              flags for this export?",
             shard.len()
-        ));
+        )
+        .into());
     }
     for (cell, expected) in salvaged.cells.iter().zip(shard.specs()) {
         if cell.spec != *expected {
@@ -440,7 +517,8 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
                 "salvaged cell {} does not match the shard's work list (expected {}) — \
                  wrong --smoke/--shard flags for this export?",
                 cell.spec, expected
-            ));
+            )
+            .into());
         }
     }
     match (&salvaged.truncation, salvaged.complete) {
@@ -473,6 +551,7 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
     // shard continue from where the interrupted run's progress.json left off.
     let mut heartbeat = Heartbeat::new(&out, shard.len(), HEARTBEAT_EVERY)
         .and_then(|heartbeat| heartbeat.starting_at(done))
+        .and_then(|beat| if attempt > 1 { beat.attempt(attempt) } else { Ok(beat) })
         .map_err(|err| format!("cannot write heartbeat in {}: {err}", out.display()))?;
     let result = (|| -> Result<(Totals, bsm_engine::ExecutionStats), String> {
         let mut exporter = StreamingExporter::new(&mut jsonl);
@@ -485,11 +564,26 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
             exporter.write_cell(cell).and_then(|()| csv.write_cell(cell)).map_err(|err| {
                 format!("cannot replay the salvaged prefix into {}: {err}", partial_path.display())
             })?;
+            if let Some(point) = crash.as_mut() {
+                if point.cell_written() {
+                    exporter
+                        .flush()
+                        .map_err(|err| format!("cannot flush {}: {err}", partial_path.display()))?;
+                    point.fire(&partial_path);
+                }
+            }
         }
         let mut sink = |cell: bsm_engine::CellRecord| -> Result<(), StreamError> {
             exporter.write_cell(&cell)?;
             csv.write_cell(&cell)?;
-            heartbeat.tick(cell.spec).map_err(StreamError::from)
+            heartbeat.tick(cell.spec)?;
+            if let Some(point) = crash.as_mut() {
+                if point.cell_written() {
+                    exporter.flush()?;
+                    point.fire(&partial_path);
+                }
+            }
+            Ok(())
         };
         let run = executor.run_range_streaming(&campaign, remainder, &mut sink);
         let (_, stats) = run.map_err(|err| {
@@ -509,9 +603,14 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
                 "{message} (completed cells kept at {}; rerun `campaign_ctl resume` to \
                  finish)",
                 partial_path.display()
-            ));
+            )
+            .into());
         }
     };
+    if let Some(point) = &crash {
+        jsonl.flush().map_err(|err| format!("cannot flush {}: {err}", partial_path.display()))?;
+        point.die_before_publish_if_armed();
+    }
     publish_partial(jsonl, &partial_path, &path)?;
     csv_out.persist().map_err(|err| format!("cannot publish {}: {err}", csv_path.display()))?;
     heartbeat
@@ -521,7 +620,123 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
     println!("totals: {totals}");
     println!("resumed: {done} salvaged + {fresh} fresh cell(s)");
     println!("exported {} and {}", path.display(), csv_path.display());
-    Ok(())
+    Ok(CtlCode::Success)
+}
+
+/// `supervise --shards K`: crash-tolerant supervised shard execution.
+///
+/// Spawns one worker subprocess per shard (`campaign_ctl run --stream --shard
+/// i/K`, re-executing this binary), watches each worker's `progress.json`
+/// heartbeat, and on crash, stall or non-zero exit salvages the worker's partial
+/// and relaunches the remainder (`campaign_ctl resume`) with bounded attempts and
+/// exponential backoff ([`run_supervisor`]). Shards that exhaust their attempts
+/// are quarantined; the completed shards are merged into `report.json` +
+/// `report.csv` (byte-identical to an unsupervised run when nothing is
+/// quarantined), `supervise.json` records every attempt and the quarantined
+/// ranges, and the process exits degraded (code 4) when anything was quarantined.
+fn supervise(args: &BenchArgs) -> Result<CtlCode, CtlError> {
+    if !args.files.is_empty() || args.metrics || args.shard.is_some() || args.stream {
+        return Err(CtlError::Usage(
+            "supervise: --shard, --stream, --metrics and file arguments are not \
+             supported (the supervisor shards, streams and merges itself; use \
+             --shards K plus --smoke/--scenario, --threads, --out and the \
+             supervision tuning flags)"
+                .into(),
+        ));
+    }
+    let shards = args.shards.ok_or_else(|| {
+        CtlError::Usage(
+            "supervise: --shards K is required (worker subprocesses, one per shard)".into(),
+        )
+    })?;
+    let (campaign, _) = build_campaign(args)?;
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl/supervised"));
+    let dirs: Vec<PathBuf> = (1..=shards).map(|i| out.join(format!("shard-{i}"))).collect();
+    for dir in &dirs {
+        std::fs::create_dir_all(dir)
+            .map_err(|err| format!("cannot create {}: {err}", dir.display()))?;
+    }
+    let exe = std::env::current_exe()
+        .map_err(|err| format!("cannot locate the campaign_ctl binary: {err}"))?;
+    let config = SuperviseConfig {
+        shards,
+        total_cells: campaign.len(),
+        max_attempts: args.max_attempts.unwrap_or(DEFAULT_MAX_ATTEMPTS),
+        backoff_base_ms: args.backoff_ms.unwrap_or(DEFAULT_BACKOFF_MS),
+        poll_ms: args.poll_ms.unwrap_or(DEFAULT_POLL_MS),
+        stall_polls: args.stall_polls.unwrap_or(DEFAULT_STALL_POLLS),
+        chaos: args.chaos.clone().unwrap_or(ChaosSpec::NONE),
+    };
+    if !config.chaos.is_empty() {
+        eprintln!("supervise: chaos armed: {}", config.chaos);
+    }
+    eprintln!(
+        "supervising {shards} worker(s) over {campaign} (max {} attempt(s)/shard)",
+        config.max_attempts
+    );
+    let summary = run_supervisor(&config, &dirs, |shard, _, resume| {
+        let mut command = Command::new(&exe);
+        match resume {
+            true => command.arg("resume"),
+            false => command.arg("run").arg("--stream"),
+        };
+        command.arg("--shard").arg(format!("{shard}/{shards}"));
+        if args.smoke {
+            command.arg("--smoke");
+        }
+        if let Some(path) = &args.scenario {
+            command.arg("--scenario").arg(path);
+        }
+        if let Some(threads) = args.threads {
+            command.arg("--threads").arg(threads.to_string());
+        }
+        command.arg("--out").arg(&dirs[shard - 1]);
+        // Workers talk through artifacts and heartbeats; their stdio would only
+        // interleave illegibly with the supervisor's own reporting.
+        command.stdout(Stdio::null()).stderr(Stdio::null());
+        command
+    })
+    .map_err(|err| format!("supervisor loop failed: {err}"))?;
+    let summary_path = out.join("supervise.json");
+    atomic_write(&summary_path, summary.to_json())
+        .map_err(|err| format!("cannot write {}: {err}", summary_path.display()))?;
+    let completed = summary.completed_shards();
+    let exports: Vec<String> = completed
+        .iter()
+        .map(|&shard| dirs[shard - 1].join("report.jsonl").to_string_lossy().into_owned())
+        .collect();
+    let json_path = out.join("report.json");
+    let csv_path = out.join("report.csv");
+    if exports.is_empty() {
+        // Nothing completed: a merged report from some earlier run must not sit
+        // next to a supervise.json that says everything was quarantined.
+        remove_stale(&json_path)?;
+        remove_stale(&csv_path)?;
+        eprintln!("supervise: no shard completed; nothing to merge");
+    } else {
+        let totals = merge_streams(&exports, &out)?;
+        println!("merged {} of {shards} shard(s): {totals}", exports.len());
+        println!("exported {} and {}", json_path.display(), csv_path.display());
+    }
+    println!("exported {}", summary_path.display());
+    if summary.degraded() {
+        for shard in &summary.quarantined {
+            eprintln!(
+                "supervise: shard {}/{shards} quarantined after {} attempt(s) — cells \
+                 {}..{} missing from the merged artifacts",
+                shard.shard,
+                shard.attempts,
+                shard.start,
+                shard.start + shard.cells
+            );
+        }
+        return Ok(CtlCode::Degraded);
+    }
+    println!(
+        "supervised run complete: {shards} shard(s) over {} attempt(s)",
+        summary.attempts.len()
+    );
+    Ok(CtlCode::Success)
 }
 
 /// `bench`: run the fixed Dolev-Strong-heavy benchmark campaign and write the
@@ -530,7 +745,7 @@ fn resume(args: &BenchArgs) -> Result<(), String> {
 /// `--smoke` selects the quick CI grid; the default full grid is the one behind the
 /// tracked repo-root baseline. `--out DIR` chooses where `BENCH_engine.json` lands
 /// (default: the current directory, i.e. the repo root when run from a checkout).
-fn bench(args: &BenchArgs) -> Result<(), String> {
+fn bench(args: &BenchArgs) -> Result<CtlCode, CtlError> {
     // The benchmark campaign is fixed by design (the snapshot is only comparable
     // across runs of the same grid); silently accepting run-flavored flags would
     // ship a mislabeled baseline with exit 0.
@@ -540,10 +755,12 @@ fn bench(args: &BenchArgs) -> Result<(), String> {
         || args.scenario.is_some()
         || !args.files.is_empty()
     {
-        return Err("bench: --shard, --stream, --metrics, --scenario and file arguments \
+        return Err(CtlError::Usage(
+            "bench: --shard, --stream, --metrics, --scenario and file arguments \
              are not supported (the benchmark campaign is fixed and its snapshot \
              already carries the counter deltas; use --smoke, --threads, --out)"
-            .into());
+                .into(),
+        ));
     }
     let executor = args.executor().progress(Progress::Stderr { every: 250 });
     eprintln!(
@@ -568,7 +785,7 @@ fn bench(args: &BenchArgs) -> Result<(), String> {
         snapshot.digests_computed
     );
     println!("exported {}", path.display());
-    Ok(())
+    Ok(CtlCode::Success)
 }
 
 /// `fuzz`: the violation-guided adversary fuzzer (see `docs/FUZZING.md`).
@@ -581,9 +798,9 @@ fn bench(args: &BenchArgs) -> Result<(), String> {
 /// frozen script and checks the recorded verdict; `--replay FILE --freeze` rewrites
 /// the file canonically with the observed verdict (how verdicts get stamped).
 ///
-/// Returns `Ok(true)` — exit FAILURE — when the search found violations or a
+/// Returns [`CtlCode::Findings`] — exit 3 — when the search found violations or a
 /// replayed verdict did not reproduce.
-fn fuzz(args: &BenchArgs) -> Result<bool, String> {
+fn fuzz(args: &BenchArgs) -> Result<CtlCode, CtlError> {
     // The fuzzer owns its own determinism contract; campaign-flavored flags have no
     // meaning here and silently ignoring them would mislabel the run.
     if args.shard.is_some()
@@ -593,21 +810,28 @@ fn fuzz(args: &BenchArgs) -> Result<bool, String> {
         || args.scenario.is_some()
         || !args.files.is_empty()
     {
-        return Err("fuzz: --shard, --stream, --metrics, --smoke, --scenario and file \
+        return Err(CtlError::Usage(
+            "fuzz: --shard, --stream, --metrics, --smoke, --scenario and file \
              arguments are not supported (use --budget N, --seed S, --replay FILE, \
              --freeze, --out DIR)"
-            .into());
+                .into(),
+        ));
     }
     if let Some(path) = &args.replay {
         if args.budget.is_some() || args.seed.is_some() {
-            return Err("fuzz: --replay re-runs one frozen script; --budget/--seed only \
+            return Err(CtlError::Usage(
+                "fuzz: --replay re-runs one frozen script; --budget/--seed only \
                  apply to the search loop"
-                .into());
+                    .into(),
+            ));
         }
-        return replay_script(path, args.freeze);
+        let mismatched = replay_script(path, args.freeze)?;
+        return Ok(if mismatched { CtlCode::Findings } else { CtlCode::Success });
     }
     let budget = args.budget.ok_or_else(|| {
-        "fuzz: --budget N is required (or --replay FILE to re-run a frozen script)".to_string()
+        CtlError::Usage(
+            "fuzz: --budget N is required (or --replay FILE to re-run a frozen script)".into(),
+        )
     })?;
     let seed = args.seed.unwrap_or(0);
     let report = run_fuzz(&FuzzConfig { budget, seed });
@@ -644,7 +868,7 @@ fn fuzz(args: &BenchArgs) -> Result<bool, String> {
             println!("froze {}", path.display());
         }
     }
-    Ok(!report.violations.is_empty())
+    Ok(if report.violations.is_empty() { CtlCode::Success } else { CtlCode::Findings })
 }
 
 /// `fuzz --replay FILE [--freeze]`: re-run one frozen script deterministically.
@@ -692,14 +916,18 @@ fn replay_script(path: &Path, freeze: bool) -> Result<bool, String> {
     }
 }
 
-fn merge(args: &BenchArgs) -> Result<(), String> {
+fn merge(args: &BenchArgs) -> Result<CtlCode, CtlError> {
     if args.files.is_empty() {
-        return Err("merge: no shard exports given (pass report.json paths)".into());
+        return Err(CtlError::Usage(
+            "merge: no shard exports given (pass report.json paths)".into(),
+        ));
     }
     if args.metrics {
-        return Err("merge: --metrics is not supported (sidecars are per-run; run \
+        return Err(CtlError::Usage(
+            "merge: --metrics is not supported (sidecars are per-run; run \
              `campaign_ctl stats` on each shard's metrics.jsonl instead)"
-            .into());
+                .into(),
+        ));
     }
     if args.stream {
         return merge_streamed(args);
@@ -708,10 +936,26 @@ fn merge(args: &BenchArgs) -> Result<(), String> {
     let merged = CampaignReport::merge(shards).map_err(|err| err.to_string())?;
     println!("merged {} shard(s): {}", args.files.len(), merged.totals());
     let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl/merged"));
-    export_report(&merged, &out)
+    export_report(&merged, &out)?;
+    Ok(CtlCode::Success)
 }
 
 /// `merge --stream`: k-way merge of shard `report.jsonl` streams in constant memory.
+fn merge_streamed(args: &BenchArgs) -> Result<CtlCode, CtlError> {
+    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl/merged"));
+    let totals = merge_streams(&args.files, &out)?;
+    println!("merged {} shard stream(s): {totals}", args.files.len());
+    println!(
+        "exported {} and {}",
+        out.join("report.json").display(),
+        out.join("report.csv").display()
+    );
+    Ok(CtlCode::Success)
+}
+
+/// The streamed-merge core shared by `merge --stream` and `supervise`: k-way merge
+/// of shard `report.jsonl` streams into `report.json` + `report.csv` under `out`,
+/// in constant memory.
 ///
 /// Pass 1 reads just the totals footers (the JSON document puts totals before the
 /// cells, so the coordinator must know them up front) and the scenario tags they
@@ -720,10 +964,10 @@ fn merge(args: &BenchArgs) -> Result<(), String> {
 /// `report.csv`, byte-identical to the in-memory merge. The writers verify the
 /// summed footers against the cells actually streamed, so a lying footer or
 /// truncated shard fails the merge instead of shipping a wrong artifact.
-fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
+fn merge_streams(files: &[String], out: &Path) -> Result<Totals, String> {
     let mut declared = Totals::default();
     let mut scenario: Option<String> = None;
-    for (index, path) in args.files.iter().enumerate() {
+    for (index, path) in files.iter().enumerate() {
         let file = File::open(path).map_err(|err| format!("cannot read {path}: {err}"))?;
         let (totals, tag) = footer_meta(BufReader::new(file))
             .map_err(|err| format!("cannot read footer of {path}: {err}"))?;
@@ -741,12 +985,11 @@ fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
         }
     }
     let mut streams = Vec::new();
-    for path in &args.files {
+    for path in files {
         let file = File::open(path).map_err(|err| format!("cannot read {path}: {err}"))?;
         streams.push(StreamingCells::new(BufReader::new(file)));
     }
-    let out = args.out.clone().unwrap_or_else(|| PathBuf::from("target/campaign_ctl/merged"));
-    std::fs::create_dir_all(&out)
+    std::fs::create_dir_all(out)
         .map_err(|err| format!("cannot create {}: {err}", out.display()))?;
     let json_path = out.join("report.json");
     let csv_path = out.join("report.csv");
@@ -775,23 +1018,23 @@ fn merge_streamed(args: &BenchArgs) -> Result<(), String> {
     })()?;
     json_out.persist().map_err(|err| format!("cannot publish {}: {err}", json_path.display()))?;
     csv_out.persist().map_err(|err| format!("cannot publish {}: {err}", csv_path.display()))?;
-    println!("merged {} shard stream(s): {totals}", args.files.len());
-    println!("exported {} and {}", json_path.display(), csv_path.display());
-    Ok(())
+    Ok(totals)
 }
 
-/// Returns `true` when the reports differ in any cell.
-fn diff(args: &BenchArgs) -> Result<bool, String> {
+/// Returns [`CtlCode::Findings`] when the reports differ in any cell.
+fn diff(args: &BenchArgs) -> Result<CtlCode, CtlError> {
     if args.metrics {
-        return Err("diff: --metrics is not supported (diff compares deterministic \
+        return Err(CtlError::Usage(
+            "diff: --metrics is not supported (diff compares deterministic \
              report cells; telemetry sidecars carry timing and are not diffable)"
-            .into());
+                .into(),
+        ));
     }
     let [left, right] = args.files.as_slice() else {
-        return Err(format!(
+        return Err(CtlError::Usage(format!(
             "diff: expected exactly two report.json paths, got {}",
             args.files.len()
-        ));
+        )));
     };
     let (left, right) = (import_report(left)?, import_report(right)?);
     if left.scenario() != right.scenario() {
@@ -802,11 +1045,12 @@ fn diff(args: &BenchArgs) -> Result<bool, String> {
             "cannot diff reports from different scenarios: {} vs {}",
             render(left.scenario()),
             render(right.scenario())
-        ));
+        )
+        .into());
     }
     let diff = CampaignDiff::between(&left, &right);
     print!("{diff}");
-    Ok(!diff.is_empty())
+    Ok(if diff.is_empty() { CtlCode::Success } else { CtlCode::Findings })
 }
 
 /// `stats`: aggregate a telemetry sidecar into quantiles, top cells and per-axis
@@ -817,13 +1061,13 @@ fn diff(args: &BenchArgs) -> Result<bool, String> {
 /// (any streamed run), the heartbeat snapshot is summarized first, so `stats` on
 /// a *running* shard's out-dir doubles as a liveness check. Aggregation streams
 /// the sidecar and validates schema and canonical coordinate order as it goes.
-fn stats(args: &BenchArgs) -> Result<(), String> {
+fn stats(args: &BenchArgs) -> Result<CtlCode, CtlError> {
     let [target] = args.files.as_slice() else {
-        return Err(format!(
+        return Err(CtlError::Usage(format!(
             "stats: expected exactly one path (metrics.jsonl, or a campaign --out \
              directory containing one), got {}",
             args.files.len()
-        ));
+        )));
     };
     let target = PathBuf::from(target);
     let (metrics_path, progress_path) = if target.is_dir() {
@@ -837,9 +1081,29 @@ fn stats(args: &BenchArgs) -> Result<(), String> {
         let progress = parse_progress(&text)
             .map_err(|err| format!("cannot parse {}: {err}", progress_path.display()))?;
         let last = progress.last.map_or_else(|| "none".to_string(), |spec| spec.to_string());
+        // The liveness verdict the supervisor automates: a finished shard is
+        // complete, a beating pid is running, a dead pid with cells left means
+        // the run died and `resume` (or `supervise`) can finish it. Old
+        // pre-supervision heartbeats parse with pid 0 — liveness unknown.
+        let verdict = if progress.done >= progress.total && progress.total > 0 {
+            "complete"
+        } else {
+            match pid_alive(progress.pid) {
+                Some(true) => "running",
+                Some(false) => "worker dead; `campaign_ctl resume` finishes it",
+                None => "liveness unknown",
+            }
+        };
         println!(
-            "heartbeat: {}/{} cell(s) at {:.1}/s over {:.3}s, last {last}",
-            progress.done, progress.total, progress.rate_per_sec, progress.wall_seconds
+            "heartbeat: {}/{} cell(s) at {:.1}/s over {:.3}s, last {last} \
+             [attempt {}, seq {}, pid {}: {verdict}]",
+            progress.done,
+            progress.total,
+            progress.rate_per_sec,
+            progress.wall_seconds,
+            progress.attempt,
+            progress.seq,
+            progress.pid
         );
     }
     let file = File::open(&metrics_path).map_err(|err| {
@@ -851,53 +1115,72 @@ fn stats(args: &BenchArgs) -> Result<(), String> {
     let stats = CampaignStats::from_stream(BufReader::new(file))
         .map_err(|err| format!("cannot aggregate {}: {err}", metrics_path.display()))?;
     print!("{}", stats.render(5));
-    Ok(())
+    Ok(CtlCode::Success)
+}
+
+/// Routes a parsed invocation to its subcommand, with the cross-cutting usage
+/// gates applied first.
+fn dispatch(subcommand: &str, args: &BenchArgs) -> Result<CtlCode, CtlError> {
+    // Strict CLI: a mistyped flag (e.g. `--shard 4/3`) must not silently fall back to
+    // an unsharded full run — in a CI or fleet context that wastes the whole campaign
+    // and can ship a wrong artifact with exit 0.
+    if !args.unknown.is_empty() {
+        return Err(CtlError::Usage(format!("invalid argument(s): {}", args.unknown.join(", "))));
+    }
+    // Subcommand-specific flags on the wrong subcommand mean the user mixed up
+    // invocations; silently ignoring them could run a different experiment than
+    // intended.
+    if subcommand != "fuzz"
+        && (args.budget.is_some() || args.seed.is_some() || args.replay.is_some() || args.freeze)
+    {
+        return Err(CtlError::Usage(
+            "--budget, --seed, --replay and --freeze only apply to `campaign_ctl fuzz`".into(),
+        ));
+    }
+    if subcommand != "supervise"
+        && (args.shards.is_some()
+            || args.chaos.is_some()
+            || args.max_attempts.is_some()
+            || args.backoff_ms.is_some()
+            || args.poll_ms.is_some()
+            || args.stall_polls.is_some())
+    {
+        return Err(CtlError::Usage(
+            "--shards, --chaos, --max-attempts, --backoff-ms, --poll-ms and \
+             --stall-polls only apply to `campaign_ctl supervise`"
+                .into(),
+        ));
+    }
+    match subcommand {
+        "run" => run(args),
+        "resume" => resume(args),
+        "supervise" => supervise(args),
+        "bench" => bench(args),
+        "merge" => merge(args),
+        "diff" => diff(args),
+        "stats" => stats(args),
+        "fuzz" => fuzz(args),
+        other => Err(CtlError::Usage(format!(
+            "unknown subcommand {other:?}; usage: campaign_ctl \
+             <run|resume|supervise|bench|merge|diff|stats|fuzz> [--smoke] [--scenario FILE] \
+             [--stream] [--metrics] [--shard I/K] [--threads N] [--out DIR] \
+             [--shards K] [--chaos SPEC] [--max-attempts N] [--backoff-ms MS] \
+             [--poll-ms MS] [--stall-polls N] \
+             [--budget N] [--seed S] [--replay FILE] [--freeze] \
+             [report.json|report.jsonl|metrics.jsonl ...]"
+        ))),
+    }
 }
 
 fn main() -> ExitCode {
     let mut raw: Vec<String> = std::env::args().skip(1).collect();
     let subcommand = if raw.is_empty() { String::new() } else { raw.remove(0) };
     let args = BenchArgs::from_args(raw);
-    // Strict CLI: a mistyped flag (e.g. `--shard 4/3`) must not silently fall back to
-    // an unsharded full run — in a CI or fleet context that wastes the whole campaign
-    // and can ship a wrong artifact with exit 0.
-    if !args.unknown.is_empty() {
-        eprintln!("campaign_ctl: invalid argument(s): {}", args.unknown.join(", "));
-        return ExitCode::FAILURE;
-    }
-    // Fuzz-only flags on a campaign subcommand mean the user mixed up invocations;
-    // silently ignoring them could run a different experiment than intended.
-    if subcommand != "fuzz"
-        && (args.budget.is_some() || args.seed.is_some() || args.replay.is_some() || args.freeze)
-    {
-        eprintln!(
-            "campaign_ctl: --budget, --seed, --replay and --freeze only apply to \
-             `campaign_ctl fuzz`"
-        );
-        return ExitCode::FAILURE;
-    }
-    let result = match subcommand.as_str() {
-        "run" => run(&args).map(|()| false),
-        "resume" => resume(&args).map(|()| false),
-        "bench" => bench(&args).map(|()| false),
-        "merge" => merge(&args).map(|()| false),
-        "diff" => diff(&args),
-        "stats" => stats(&args).map(|()| false),
-        "fuzz" => fuzz(&args),
-        other => Err(format!(
-            "unknown subcommand {other:?}; usage: campaign_ctl \
-             <run|resume|bench|merge|diff|stats|fuzz> [--smoke] [--scenario FILE] [--stream] \
-             [--metrics] [--shard I/K] [--threads N] [--out DIR] \
-             [--budget N] [--seed S] [--replay FILE] [--freeze] \
-             [report.json|report.jsonl|metrics.jsonl ...]"
-        )),
-    };
-    match result {
-        Ok(false) => ExitCode::SUCCESS,
-        Ok(true) => ExitCode::FAILURE, // diff found differing cells / fuzz found violations
-        Err(message) => {
-            eprintln!("campaign_ctl: {message}");
-            ExitCode::FAILURE
+    match dispatch(&subcommand, &args) {
+        Ok(code) => code.into(),
+        Err(err) => {
+            eprintln!("campaign_ctl: {}", err.message());
+            err.code().into()
         }
     }
 }

@@ -20,13 +20,22 @@
 //! * `--seed S` — master seed for `campaign_ctl fuzz` (default 0),
 //! * `--replay FILE` — replay one frozen adversary script instead of searching,
 //! * `--freeze` — write found (or replayed) scripts as canonical regression files
-//!   (see `docs/FUZZING.md`).
+//!   (see `docs/FUZZING.md`),
+//! * `--shards K` — worker-subprocess count for `campaign_ctl supervise`,
+//! * `--max-attempts N` / `--backoff-ms MS` / `--poll-ms MS` / `--stall-polls N`
+//!   — supervision tuning: bounded attempts per shard, exponential-backoff base,
+//!   heartbeat poll interval, and the no-advance poll count that declares a
+//!   worker stalled,
+//! * `--chaos SPEC` — deterministic crash injection for the chaos tests:
+//!   comma-separated `SHARD:ATTEMPT:MODE` entries (see
+//!   [`bsm_engine::supervise::ChaosSpec`]).
 //!
 //! The vocabulary is deliberately shared across subcommands: `campaign_ctl resume`
 //! takes the *same* `--smoke`/`--shard`/`--threads`/`--out` flags as the interrupted
 //! `run --stream` it finishes, so an operator (or the future coordinator daemon)
 //! replays the original invocation with only the subcommand swapped.
 
+use bsm_engine::supervise::ChaosSpec;
 use bsm_engine::{Executor, ShardPlan};
 use std::fmt;
 use std::path::PathBuf;
@@ -66,6 +75,23 @@ pub struct BenchArgs {
     /// `true` when `--freeze` was passed (write found/replayed scripts as canonical
     /// regression files).
     pub freeze: bool,
+    /// Worker-subprocess count from `--shards` (`campaign_ctl supervise`).
+    pub shards: Option<usize>,
+    /// Deterministic crash-injection plan from `--chaos` (`campaign_ctl
+    /// supervise`; see [`ChaosSpec`]).
+    pub chaos: Option<ChaosSpec>,
+    /// Bounded attempts per shard from `--max-attempts` (`campaign_ctl
+    /// supervise`).
+    pub max_attempts: Option<u32>,
+    /// Exponential-backoff base in milliseconds from `--backoff-ms`
+    /// (`campaign_ctl supervise`; 0 retries immediately).
+    pub backoff_ms: Option<u64>,
+    /// Heartbeat poll interval in milliseconds from `--poll-ms` (`campaign_ctl
+    /// supervise`).
+    pub poll_ms: Option<u64>,
+    /// No-advance polls before a worker is declared stalled, from
+    /// `--stall-polls` (`campaign_ctl supervise`).
+    pub stall_polls: Option<u32>,
     /// Non-numeric positional arguments, in order (file paths for subcommands that
     /// consume exports, e.g. `campaign_ctl merge`/`diff`).
     pub files: Vec<String>,
@@ -90,6 +116,12 @@ impl Default for BenchArgs {
             seed: None,
             replay: None,
             freeze: false,
+            shards: None,
+            chaos: None,
+            max_attempts: None,
+            backoff_ms: None,
+            poll_ms: None,
+            stall_polls: None,
             files: Vec::new(),
             unknown: Vec::new(),
         }
@@ -154,6 +186,33 @@ impl BenchArgs {
                     None => parsed.unknown.push("--replay (expects a script file)".into()),
                 },
                 "--freeze" => parsed.freeze = true,
+                "--shards" => match value(&mut iter).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => parsed.shards = Some(n),
+                    _ => parsed.unknown.push("--shards (expects a positive integer)".into()),
+                },
+                "--chaos" => match value(&mut iter).map(|v| (v.parse::<ChaosSpec>(), v)) {
+                    Some((Ok(spec), _)) => parsed.chaos = Some(spec),
+                    Some((Err(err), v)) => parsed.unknown.push(format!("--chaos {v} ({err})")),
+                    None => {
+                        parsed.unknown.push("--chaos (expects SHARD:ATTEMPT:MODE entries)".into());
+                    }
+                },
+                "--max-attempts" => match value(&mut iter).and_then(|v| v.parse::<u32>().ok()) {
+                    Some(n) if n > 0 => parsed.max_attempts = Some(n),
+                    _ => parsed.unknown.push("--max-attempts (expects a positive integer)".into()),
+                },
+                "--backoff-ms" => match value(&mut iter).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) => parsed.backoff_ms = Some(ms),
+                    None => parsed.unknown.push("--backoff-ms (expects milliseconds)".into()),
+                },
+                "--poll-ms" => match value(&mut iter).and_then(|v| v.parse::<u64>().ok()) {
+                    Some(ms) if ms > 0 => parsed.poll_ms = Some(ms),
+                    _ => parsed.unknown.push("--poll-ms (expects positive milliseconds)".into()),
+                },
+                "--stall-polls" => match value(&mut iter).and_then(|v| v.parse::<u32>().ok()) {
+                    Some(n) if n > 0 => parsed.stall_polls = Some(n),
+                    _ => parsed.unknown.push("--stall-polls (expects a positive integer)".into()),
+                },
                 other if other.starts_with("--") => parsed.unknown.push(other.to_string()),
                 other => match other.parse::<usize>() {
                     Ok(k) if parsed.k.is_none() => parsed.k = Some(k),
@@ -194,7 +253,8 @@ impl fmt::Display for BenchArgs {
         write!(
             f,
             "k={:?} verify={} threads={:?} seeds={} shard={} smoke={} scenario={:?} stream={} \
-             metrics={} budget={:?} seed={:?} replay={:?} freeze={} files={}",
+             metrics={} budget={:?} seed={:?} replay={:?} freeze={} shards={:?} chaos={} \
+             max_attempts={:?} backoff_ms={:?} poll_ms={:?} stall_polls={:?} files={}",
             self.k,
             self.verify,
             self.threads,
@@ -208,6 +268,12 @@ impl fmt::Display for BenchArgs {
             self.seed,
             self.replay,
             self.freeze,
+            self.shards,
+            self.chaos.as_ref().map_or_else(|| "none".to_string(), |c| c.to_string()),
+            self.max_attempts,
+            self.backoff_ms,
+            self.poll_ms,
+            self.stall_polls,
             self.files.len()
         )
     }
@@ -338,6 +404,51 @@ mod tests {
         assert!(args(&["--budget", "--freeze"]).freeze);
         assert_eq!(args(&["--seed"]).unknown.len(), 1);
         assert_eq!(args(&["--replay", "--freeze"]).replay, None);
+    }
+
+    #[test]
+    fn supervise_flags_parse() {
+        let parsed = args(&[
+            "--shards",
+            "3",
+            "--chaos",
+            "2:1:torn7,3:1:early",
+            "--max-attempts",
+            "2",
+            "--backoff-ms",
+            "0",
+            "--poll-ms",
+            "25",
+            "--stall-polls",
+            "8",
+        ]);
+        assert_eq!(parsed.shards, Some(3));
+        let chaos = parsed.chaos.as_ref().expect("--chaos parses");
+        assert_eq!(chaos.to_string(), "2:1:torn7,3:1:early");
+        assert_eq!(parsed.max_attempts, Some(2));
+        assert_eq!(parsed.backoff_ms, Some(0), "--backoff-ms 0 is legal (retry immediately)");
+        assert_eq!(parsed.poll_ms, Some(25));
+        assert_eq!(parsed.stall_polls, Some(8));
+        assert!(parsed.unknown.is_empty());
+        assert!(parsed.to_string().contains("shards=Some(3)"));
+        assert!(parsed.to_string().contains("chaos=2:1:torn7,3:1:early"));
+        let defaults = args(&[]);
+        assert_eq!(defaults.shards, None);
+        assert_eq!(defaults.chaos, None);
+        assert_eq!(defaults.max_attempts, None);
+        assert_eq!(defaults.backoff_ms, None);
+        assert_eq!(defaults.poll_ms, None);
+        assert_eq!(defaults.stall_polls, None);
+        // Bad values are collected, never fatal, never stealing a following flag.
+        assert_eq!(args(&["--shards", "0"]).unknown.len(), 1);
+        assert_eq!(args(&["--chaos", "2:0:early"]).unknown.len(), 1);
+        assert_eq!(args(&["--chaos", "nonsense"]).unknown.len(), 1);
+        assert_eq!(args(&["--max-attempts", "0"]).unknown.len(), 1);
+        assert_eq!(args(&["--poll-ms", "0"]).unknown.len(), 1);
+        assert_eq!(args(&["--stall-polls", "0"]).unknown.len(), 1);
+        let starved = args(&["--shards", "--smoke"]);
+        assert_eq!(starved.shards, None);
+        assert!(starved.smoke);
     }
 
     #[test]

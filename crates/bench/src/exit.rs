@@ -1,0 +1,112 @@
+//! Documented process exit codes for `campaign_ctl`.
+//!
+//! Scripts, CI gates and the supervisor itself branch on these, so the mapping
+//! is a contract (asserted by `crates/bench/tests/exit_codes.rs`), not an
+//! accident of `ExitCode::FAILURE`:
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | internal error: I/O, parse or data failure while doing the work |
+//! | 2    | usage error: bad flags, unknown subcommand, invalid combination |
+//! | 3    | findings: `diff` saw differing cells, `fuzz` found violations or a replay mismatched |
+//! | 4    | degraded: `supervise` quarantined at least one shard (partial artifacts + `supervise.json`) |
+
+use std::process::ExitCode;
+
+/// The exit-code vocabulary of `campaign_ctl` (see the module table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CtlCode {
+    /// 0 — the subcommand did its work.
+    Success,
+    /// 1 — an I/O, parse or data failure while doing the work.
+    Internal,
+    /// 2 — the invocation itself was wrong (flags, subcommand, combination).
+    Usage,
+    /// 3 — the subcommand worked and found what it looks for (differing cells,
+    /// fuzz violations, a replay mismatch) — distinct from failure so scripts
+    /// can tell "found something" from "broke".
+    Findings,
+    /// 4 — a supervised run degraded: at least one shard was quarantined after
+    /// exhausting its attempts; merged artifacts cover only the completed
+    /// shards and `supervise.json` names the gap.
+    Degraded,
+}
+
+impl CtlCode {
+    /// The raw process exit code.
+    pub const fn code(self) -> u8 {
+        match self {
+            CtlCode::Success => 0,
+            CtlCode::Internal => 1,
+            CtlCode::Usage => 2,
+            CtlCode::Findings => 3,
+            CtlCode::Degraded => 4,
+        }
+    }
+}
+
+impl From<CtlCode> for ExitCode {
+    fn from(code: CtlCode) -> Self {
+        ExitCode::from(code.code())
+    }
+}
+
+/// A classified subcommand failure: the message plus which non-zero code it
+/// maps to. Operational failures convert from plain `String` errors (the
+/// subcommand plumbing's native error type) as [`CtlError::Internal`]; usage
+/// errors are constructed explicitly at the flag-validation sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CtlError {
+    /// Exit 2 — the invocation was wrong.
+    Usage(String),
+    /// Exit 1 — the work failed.
+    Internal(String),
+}
+
+impl CtlError {
+    /// The exit code this failure maps to.
+    pub fn code(&self) -> CtlCode {
+        match self {
+            CtlError::Usage(_) => CtlCode::Usage,
+            CtlError::Internal(_) => CtlCode::Internal,
+        }
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        match self {
+            CtlError::Usage(message) | CtlError::Internal(message) => message,
+        }
+    }
+}
+
+impl From<String> for CtlError {
+    /// Plain-`String` errors from the subcommand plumbing are operational
+    /// failures, not usage mistakes.
+    fn from(message: String) -> Self {
+        CtlError::Internal(message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(CtlCode::Success.code(), 0);
+        assert_eq!(CtlCode::Internal.code(), 1);
+        assert_eq!(CtlCode::Usage.code(), 2);
+        assert_eq!(CtlCode::Findings.code(), 3);
+        assert_eq!(CtlCode::Degraded.code(), 4);
+    }
+
+    #[test]
+    fn string_errors_classify_as_internal() {
+        let err: CtlError = String::from("disk on fire").into();
+        assert_eq!(err.code(), CtlCode::Internal);
+        assert_eq!(err.message(), "disk on fire");
+        assert_eq!(CtlError::Usage("bad flag".into()).code(), CtlCode::Usage);
+    }
+}

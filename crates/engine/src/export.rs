@@ -46,6 +46,7 @@ use std::fmt::Write as _;
 use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::time::SystemTime;
 
 /// Escapes a string for inclusion in a JSON document (quotes, backslashes, control
 /// characters; non-ASCII passes through as UTF-8).
@@ -376,6 +377,18 @@ impl<W: Write> StreamingExporter<W> {
         self.totals
     }
 
+    /// Flushes the underlying sink without footering the stream — the
+    /// crash-injection hooks call this so an injected death leaves only whole
+    /// cell lines on disk (the shape a real SIGKILL at a write boundary leaves).
+    ///
+    /// # Errors
+    ///
+    /// [`StreamError::Io`] on flush failure.
+    pub fn flush(&mut self) -> Result<(), StreamError> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
     /// Writes the totals footer, flushes the sink and returns the final totals.
     ///
     /// # Errors
@@ -640,6 +653,62 @@ pub fn atomic_write(dest: impl Into<PathBuf>, contents: impl AsRef<[u8]>) -> std
     file.persist()
 }
 
+/// The artifact names whose `<name>.tmp` staging siblings [`sweep_stale_tmp`] may
+/// remove — exactly the destinations the engine publishes through [`AtomicFile`].
+/// Anything else ending in `.tmp` is not ours and is never touched.
+const SWEEPABLE_STAGING: &[&str] = &[
+    "report.json",
+    "report.csv",
+    "report.jsonl",
+    "metrics.jsonl",
+    "progress.json",
+    "supervise.json",
+    "BENCH_engine.json",
+    "fuzz.log",
+];
+
+/// Removes stale [`AtomicFile`] staging files (`<artifact>.tmp`) left in `dir` by
+/// a SIGKILLed process.
+///
+/// The Drop/persist discipline cleans staging files on every *graceful* path, but
+/// a hard kill leaves `<dest>.tmp` behind with no owner — and nothing truncates it
+/// until (unless) the same artifact is written again. The supervisor sweeps a
+/// shard's dir before every relaunch and after quarantine. Two guards keep the
+/// sweep from ever eating live or foreign data: only the engine's own artifact
+/// names are matched (the private `SWEEPABLE_STAGING` list), and only files last
+/// modified at or
+/// before `older_than` are removed (pass the *owning attempt's* launch time —
+/// debris from a dead predecessor is always older, a successor's live staging
+/// file never is). Returns the removed paths. A missing `dir` sweeps nothing.
+///
+/// # Errors
+///
+/// Any [`std::io::Error`] listing `dir` or removing a matched file.
+pub fn sweep_stale_tmp(dir: &Path, older_than: SystemTime) -> std::io::Result<Vec<PathBuf>> {
+    let mut removed = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(err) if err.kind() == std::io::ErrorKind::NotFound => return Ok(removed),
+        Err(err) => return Err(err),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name.strip_suffix(".tmp") else { continue };
+        if !SWEEPABLE_STAGING.contains(&stem) {
+            continue;
+        }
+        let modified = entry.metadata()?.modified()?;
+        if modified <= older_than {
+            std::fs::remove_file(entry.path())?;
+            removed.push(entry.path());
+        }
+    }
+    removed.sort();
+    Ok(removed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -860,6 +929,39 @@ mod tests {
         }
         assert!(!dest.exists(), "an unpersisted write must not create the destination");
         assert!(!staging_path(&dest).exists(), "drop must remove the staging file");
+    }
+
+    #[test]
+    fn sweep_removes_crash_leftovers_but_not_drop_cleaned_or_foreign_files() {
+        let dir = scratch_dir("sweep_stale_tmp");
+        // Graceful path: Drop already cleaned the staging file — nothing to sweep.
+        {
+            let mut file = AtomicFile::create(dir.join("report.csv")).unwrap();
+            file.write_all(b"half a row").unwrap();
+        }
+        assert_eq!(sweep_stale_tmp(&dir, SystemTime::now()).unwrap(), Vec::<PathBuf>::new());
+        // Crash path: a SIGKILL leaves <dest>.tmp behind with no owner.
+        std::fs::write(dir.join("report.csv.tmp"), "orphaned staging").unwrap();
+        std::fs::write(dir.join("progress.json.tmp"), "{").unwrap();
+        // Never touched: live salvage data, foreign temp files, real artifacts.
+        std::fs::write(dir.join("report.jsonl.partial"), "salvageable").unwrap();
+        std::fs::write(dir.join("notes.tmp"), "not ours").unwrap();
+        std::fs::write(dir.join("report.json"), "real artifact").unwrap();
+        // A cutoff in the past removes nothing (a live successor's staging file
+        // is always newer than the attempt that owns the sweep).
+        let past = SystemTime::UNIX_EPOCH;
+        assert_eq!(sweep_stale_tmp(&dir, past).unwrap(), Vec::<PathBuf>::new());
+        assert!(dir.join("report.csv.tmp").exists());
+        let removed = sweep_stale_tmp(&dir, SystemTime::now()).unwrap();
+        assert_eq!(removed, vec![dir.join("progress.json.tmp"), dir.join("report.csv.tmp")]);
+        assert!(!dir.join("report.csv.tmp").exists());
+        assert!(!dir.join("progress.json.tmp").exists());
+        assert!(dir.join("report.jsonl.partial").exists(), "salvage data survives");
+        assert!(dir.join("notes.tmp").exists(), "unknown .tmp names are not ours");
+        assert!(dir.join("report.json").exists());
+        // A missing directory sweeps nothing instead of erroring.
+        let gone = dir.join("no-such-subdir");
+        assert_eq!(sweep_stale_tmp(&gone, SystemTime::now()).unwrap(), Vec::<PathBuf>::new());
     }
 
     #[test]

@@ -378,6 +378,13 @@ pub(crate) fn as_object(value: &Value, what: &str) -> Result<Vec<(String, Value)
     }
 }
 
+pub(crate) fn as_array(value: &Value, what: &str) -> Result<Vec<Value>, ImportError> {
+    match value {
+        Value::Array(items) => Ok(items.clone()),
+        other => Err(schema(format!("{what}: expected array, found {}", other.type_name()))),
+    }
+}
+
 pub(crate) fn number(fields: &[(String, Value)], name: &str) -> Result<u64, ImportError> {
     match field(fields, name)? {
         Value::Number(n) => Ok(*n),

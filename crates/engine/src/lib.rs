@@ -32,6 +32,13 @@
 //!   [`bsm_core::script::Script`] space with worst-case tracking, greedy shrinking
 //!   of any violating script, and byte-deterministic logs (`campaign_ctl fuzz`,
 //!   see `docs/FUZZING.md`),
+//! * [`supervise`] — the crash-tolerance layer: the supervisor loop behind
+//!   `campaign_ctl supervise` ([`run_supervisor`]: one worker subprocess per
+//!   shard, heartbeat-watched, retried with exponential backoff, quarantined
+//!   after bounded attempts), the `supervise.json` summary
+//!   ([`SuperviseSummary`]), and deterministic crash injection
+//!   ([`ChaosSpec`]/[`CrashPoint`]) for testing supervision against real
+//!   SIGKILL-style deaths,
 //! * [`progress`] — an optional scenarios/sec + ETA reporter on stderr,
 //! * [`telemetry`] — the observability side channel: per-cell attributed cost
 //!   records ([`CellTelemetry`]) streamed to a `metrics.jsonl` sidecar, log-bucketed
@@ -151,6 +158,7 @@ pub mod import;
 pub mod progress;
 pub mod report;
 pub mod scenario_file;
+pub mod supervise;
 pub mod telemetry;
 
 pub use bench::BenchSnapshot;
@@ -158,8 +166,8 @@ pub use campaign::{Campaign, CampaignBuilder};
 pub use diff::{CampaignDiff, CellDiff};
 pub use executor::{Executor, THREADS_ENV};
 pub use export::{
-    atomic_write, cell_json, csv_row, to_csv, to_json, totals_json, AtomicFile, MergedJsonWriter,
-    StreamError, StreamingCsvWriter, StreamingExporter,
+    atomic_write, cell_json, csv_row, sweep_stale_tmp, to_csv, to_json, totals_json, AtomicFile,
+    MergedJsonWriter, StreamError, StreamingCsvWriter, StreamingExporter,
 };
 pub use fuzz::{run_fuzz, shrink, violation_signature, FoundViolation, FuzzConfig, FuzzReport};
 pub use grid::{ScenarioSpec, ShardPlan, ShardPlanError};
@@ -172,6 +180,10 @@ pub use report::{
     MergeError, Totals,
 };
 pub use scenario_file::{ScenarioError, ScenarioFile};
+pub use supervise::{
+    parse_supervise, run_supervisor, AttemptOutcome, AttemptRecord, ChaosSpec, CrashMode,
+    CrashPoint, QuarantinedShard, SuperviseConfig, SuperviseSummary,
+};
 pub use telemetry::{
     parse_progress, parse_telemetry_line, CampaignStats, CellTelemetry, Heartbeat, Histogram,
     ProgressSnapshot, TelemetryCells, TelemetryExporter,

@@ -593,6 +593,8 @@ pub struct Heartbeat {
     every: usize,
     total: usize,
     done: usize,
+    seq: u64,
+    attempt: u32,
     last: Option<ScenarioSpec>,
     start: Instant,
     base: CounterSnapshot,
@@ -612,6 +614,8 @@ impl Heartbeat {
             every: every.max(1),
             total,
             done: 0,
+            seq: 0,
+            attempt: 1,
             last: None,
             start: Instant::now(),
             base: bsm_crypto::counters::snapshot(),
@@ -628,6 +632,20 @@ impl Heartbeat {
     /// Any I/O error rewriting the beat.
     pub fn starting_at(mut self, done: usize) -> std::io::Result<Self> {
         self.done = done;
+        self.write()?;
+        Ok(self)
+    }
+
+    /// Stamps the supervisor-assigned attempt number (1-based; see
+    /// [`crate::supervise::ATTEMPT_ENV`]) and rewrites the beat. The supervisor's
+    /// liveness check keys on the `(attempt, seq)` pair, so a relaunched worker's
+    /// restarted `seq` is never mistaken for its dead predecessor's.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error rewriting the beat.
+    pub fn attempt(mut self, attempt: u32) -> std::io::Result<Self> {
+        self.attempt = attempt.max(1);
         self.write()?;
         Ok(self)
     }
@@ -661,8 +679,11 @@ impl Heartbeat {
         self.write()
     }
 
-    /// Atomically rewrites `progress.json` with the current state.
+    /// Atomically rewrites `progress.json` with the current state, bumping the
+    /// monotone `seq` — the advancement signal a supervisor's stall watchdog
+    /// polls (wall-clock alone cannot distinguish slow from wedged).
     fn write(&mut self) -> std::io::Result<()> {
+        self.seq += 1;
         let wall = self.start.elapsed().as_secs_f64();
         let rate = if wall > 0.0 { self.done as f64 / wall } else { 0.0 };
         let delta = bsm_crypto::counters::snapshot() - self.base;
@@ -671,11 +692,15 @@ impl Heartbeat {
             None => String::new(),
         };
         let doc = format!(
-            "{{\"done\": {}, \"total\": {}, \"rate_per_sec\": \"{:.1}\", \
+            "{{\"done\": {}, \"total\": {}, \"seq\": {}, \"pid\": {}, \"attempt\": {}, \
+             \"rate_per_sec\": \"{:.1}\", \
              \"wall_seconds\": \"{:.3}\"{}, \"crypto\": {{\"digests\": {}, \
              \"verified\": {}, \"cache_hits\": {}}}}}\n",
             self.done,
             self.total,
+            self.seq,
+            std::process::id(),
+            self.attempt,
             rate,
             wall,
             last,
@@ -695,6 +720,14 @@ pub struct ProgressSnapshot {
     pub done: usize,
     /// Cells the shard owns in total.
     pub total: usize,
+    /// Monotone rewrite counter — the advancement signal a stall watchdog keys
+    /// on (0 when parsed from a pre-`seq` heartbeat file).
+    pub seq: u64,
+    /// The writing worker's process id (0 when parsed from a pre-`pid` file —
+    /// [`crate::supervise::pid_alive`] treats 0 as "unknown").
+    pub pid: u32,
+    /// The supervisor-assigned attempt number (1 when absent or unsupervised).
+    pub attempt: u32,
     /// Cells per second, as written (timing — informational).
     pub rate_per_sec: f64,
     /// Wall seconds since the heartbeat started (timing — informational).
@@ -724,10 +757,25 @@ pub fn parse_progress(text: &str) -> Result<ProgressSnapshot, ImportError> {
         Some((_, value)) => Some(parse_spec(&as_object(value, "last")?)?),
         None => None,
     };
+    // Supervision fields arrived after the format's first release; a heartbeat
+    // written by an older engine parses with "unknown" defaults instead of
+    // failing, so a mixed-version fleet stays observable.
+    let optional = |name: &str, default: u64| -> Result<u64, ImportError> {
+        match fields.iter().any(|(key, _)| key == name) {
+            true => number(&fields, name),
+            false => Ok(default),
+        }
+    };
+    let narrow = |name: &str, value: u64| -> Result<u32, ImportError> {
+        u32::try_from(value).map_err(|_| schema(format!("{name}: value exceeds u32")))
+    };
     let crypto = as_object(field(&fields, "crypto")?, "crypto")?;
     Ok(ProgressSnapshot {
         done: usize_field(&fields, "done")?,
         total: usize_field(&fields, "total")?,
+        seq: optional("seq", 0)?,
+        pid: narrow("pid", optional("pid", 0)?)?,
+        attempt: narrow("attempt", optional("attempt", 1)?)?,
         rate_per_sec: timing_float("rate_per_sec")?,
         wall_seconds: timing_float("wall_seconds")?,
         last,
@@ -955,6 +1003,9 @@ mod tests {
         let initial = parse_progress(&std::fs::read_to_string(heartbeat.path()).unwrap()).unwrap();
         assert_eq!((initial.done, initial.total), (0, 10));
         assert_eq!(initial.last, None);
+        assert_eq!(initial.seq, 1, "the creation beat is rewrite #1");
+        assert_eq!(initial.pid, std::process::id());
+        assert_eq!(initial.attempt, 1);
         heartbeat.tick(spec(0)).unwrap();
         heartbeat.tick(spec(1)).unwrap(); // every=2: this tick rewrites
         let mid = parse_progress(&std::fs::read_to_string(heartbeat.path()).unwrap()).unwrap();
@@ -967,6 +1018,30 @@ mod tests {
         assert_eq!(done.done, 3, "finish must flush the un-beaten tail");
         assert_eq!(done.last, Some(spec(2)));
         assert!(done.wall_seconds >= 0.0);
+        assert_eq!(done.seq, 3, "seq is monotone across every rewrite");
+    }
+
+    #[test]
+    fn supervised_heartbeat_stamps_the_attempt_number() {
+        let dir = std::env::temp_dir().join("bsm-engine-telemetry-tests").join("heartbeat_attempt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let heartbeat =
+            Heartbeat::new(&dir, 10, 32).unwrap().starting_at(6).unwrap().attempt(3).unwrap();
+        let beat = parse_progress(&std::fs::read_to_string(heartbeat.path()).unwrap()).unwrap();
+        assert_eq!((beat.done, beat.total, beat.attempt), (6, 10, 3));
+        assert_eq!(beat.seq, 3, "new + starting_at + attempt = three rewrites");
+    }
+
+    #[test]
+    fn pre_supervision_heartbeats_parse_with_defaults() {
+        // A heartbeat written before seq/pid/attempt existed must still parse —
+        // a mixed-version fleet stays observable.
+        let old = "{\"done\": 4, \"total\": 9, \"rate_per_sec\": \"2.0\", \
+                   \"wall_seconds\": \"2.000\", \"crypto\": {\"digests\": 0, \
+                   \"verified\": 0, \"cache_hits\": 0}}";
+        let parsed = parse_progress(old).unwrap();
+        assert_eq!((parsed.done, parsed.total), (4, 9));
+        assert_eq!((parsed.seq, parsed.pid, parsed.attempt), (0, 0, 1));
     }
 
     #[test]
